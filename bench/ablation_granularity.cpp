@@ -1,0 +1,86 @@
+// Ablation C: sub-tensor granularity and flexible precision settings.
+//
+// Section 5.1 fixes the sub-tensor size to DRQ's and the low precision
+// to 4 bits "for a fair comparison", noting that other granularities
+// and precisions (3-bit / 5-bit, which the BitGroup design supports)
+// are possible.  This ablation sweeps both:
+//   - region/block granularity of the precision decisions, and
+//   - the low-precision bit-width lp in {3, 4, 5}.
+#include <cstdio>
+#include <vector>
+
+#include "accel/compare.hpp"
+#include "core/noise_budget.hpp"
+#include "nn/synthetic.hpp"
+#include "tensor/subtensor.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace drift;
+
+int main() {
+  std::printf("=== Ablation C: granularity and flexible precision ===\n\n");
+
+  // (a) Granularity: finer sub-tensors adapt better (higher 4-bit
+  // coverage at the same noise budget) but cost more index storage.
+  Rng rng(41);
+  const std::int64_t rows = 4096, cols = 512;
+  const TensorF x = nn::synth_rows(rng, rows, cols, nn::bert_profile());
+  const auto params = core::compute_quant_params(x.data(), core::kInt8);
+
+  TextTable gran_table({"granularity (rows/sub-tensor)", "#sub-tensors",
+                        "4-bit elements", "excess noise"});
+  CsvWriter csv("ablation_granularity.csv",
+                {"kind", "setting", "low_fraction", "metric"});
+  for (std::int64_t block : {1, 4, 16, 64, 256}) {
+    const auto views = partition_blocks(rows * cols, block * cols);
+    const auto stats = core::compute_stats(views, x.data());
+    std::vector<std::int64_t> sizes;
+    for (const auto& v : views) sizes.push_back(v.size());
+    const auto sel = core::select_auto_threshold(
+        stats, sizes, params, core::SelectorConfig{}, 0.02);
+    gran_table.add_row({std::to_string(block),
+                        std::to_string(views.size()),
+                        TextTable::pct(sel.low_fraction_by_elements),
+                        TextTable::fmt(sel.excess_relative_mse, 5)});
+    csv.row_values("granularity", block, sel.low_fraction_by_elements,
+                   sel.excess_relative_mse);
+  }
+  std::printf("granularity sweep (token stream, budget 2%%):\n%s\n",
+              gran_table.to_string().c_str());
+
+  // (b) Flexible low precision: the BG design also supports 3- and
+  // 5-bit execution (Section 5.3's closing remark).
+  TextTable lp_table({"low precision", "4(3/5)-bit elements",
+                      "excess noise", "BERT Drift/BitFusion"});
+  for (int lp : {3, 4, 5}) {
+    core::SelectorConfig scfg;
+    scfg.lp = core::Precision(lp);
+    const auto views = partition_rows(Shape{rows, cols});
+    const auto stats = core::compute_stats(views, x.data());
+    std::vector<std::int64_t> sizes(views.size(), cols);
+    const auto sel =
+        core::select_auto_threshold(stats, sizes, params, scfg, 0.02);
+
+    accel::CompareConfig hw_cfg;
+    hw_cfg.noise_budget = 0.05;
+    hw_cfg.drift_selector.lp = core::Precision(lp);
+    const auto cmp = accel::compare_workload(nn::make_bert_base(), hw_cfg);
+    const double speedup = cmp.speedup_drift() / cmp.speedup_bitfusion();
+
+    lp_table.add_row({"INT" + std::to_string(lp),
+                      TextTable::pct(sel.low_fraction_by_elements),
+                      TextTable::fmt(sel.excess_relative_mse, 5),
+                      TextTable::ratio(speedup)});
+    csv.row_values("low_precision", lp, sel.low_fraction_by_elements,
+                   speedup);
+    std::printf("lp=%d done\n", lp);
+  }
+  std::printf("\nflexible precision sweep:\n%s\n",
+              lp_table.to_string().c_str());
+  std::printf(
+      "takeaway: per-row granularity maximizes coverage; INT3 trades\n"
+      "coverage for cheaper MACs, INT5 the reverse — the BG fabric\n"
+      "supports all of them (Section 5.3).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation B: the accuracy / 4-bit-coverage trade-off of the density
+// threshold (Section 3.3's Hessian-aware selection target).
+//
+// Sweeps the excess-noise budget (the dimensionless form of Eq. 6's δ
+// that the automatic selection tunes) on the transformer proxy and on
+// one full-size hardware workload, showing (a) the accuracy cliff that
+// makes "minimum threshold with negligible impact" the right rule and
+// (b) how the hardware speedup saturates once the free (lc = 0)
+// conversions are exhausted.
+#include <cstdio>
+#include <vector>
+
+#include "accel/compare.hpp"
+#include "nn/proxy.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace drift;
+
+int main() {
+  std::printf("=== Ablation B: threshold (noise budget) sweep ===\n\n");
+
+  const std::vector<double> budgets = {0.001, 0.002, 0.005, 0.01,
+                                       0.02,  0.05,  0.1};
+
+  // (a) accuracy trade-off on the transformer proxy.
+  nn::TransformerProxy::Config pcfg;
+  pcfg.samples = 96;
+  const nn::TransformerProxy proxy(pcfg);
+  nn::QuantEngine::Config int8_cfg;
+  int8_cfg.mode = nn::QuantMode::kStaticInt8;
+  nn::QuantEngine int8_engine(int8_cfg);
+  const double acc_int8 = proxy.evaluate(int8_engine).metric;
+
+  TextTable acc_table({"budget", "accuracy", "drop vs INT8", "4-bit %"});
+  CsvWriter csv("ablation_threshold.csv",
+                {"budget", "accuracy", "low_fraction", "bert_speedup"});
+  std::vector<double> speedups;
+  for (double budget : budgets) {
+    nn::QuantEngine::Config cfg;
+    cfg.mode = nn::QuantMode::kDrift;
+    cfg.noise_budget = budget;
+    nn::QuantEngine engine(cfg);
+    const auto r = proxy.evaluate(engine);
+
+    // (b) hardware effect of the same budget on BERT.
+    accel::CompareConfig hw_cfg;
+    hw_cfg.noise_budget = budget;
+    const auto cmp = accel::compare_workload(nn::make_bert_base(), hw_cfg);
+    const double speedup = cmp.speedup_drift() / cmp.speedup_bitfusion();
+    speedups.push_back(speedup);
+
+    acc_table.add_row({TextTable::fmt(budget, 3), TextTable::pct(r.metric),
+                       TextTable::pct(acc_int8 - r.metric),
+                       TextTable::pct(r.act_low_fraction)});
+    csv.row_values(budget, r.metric, r.act_low_fraction, speedup);
+    std::printf("budget %.3f done\n", budget);
+  }
+
+  std::printf("\nproxy accuracy vs budget (INT8 = %s):\n%s\n",
+              TextTable::pct(acc_int8).c_str(),
+              acc_table.to_string().c_str());
+
+  TextTable hw_table({"budget", "Drift/BitFusion speedup (BERT)"});
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    hw_table.add_row(
+        {TextTable::fmt(budgets[i], 3), TextTable::ratio(speedups[i])});
+  }
+  std::printf("hardware speedup vs budget:\n%s\n",
+              hw_table.to_string().c_str());
+  std::printf(
+      "takeaway: coverage and speedup rise quickly with the budget and\n"
+      "saturate (free lc=0 conversions dominate), while accuracy falls off\n"
+      "a cliff past the tolerance — hence 'minimum threshold with\n"
+      "negligible impact'.\n");
+  return 0;
+}

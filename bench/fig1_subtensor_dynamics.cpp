@@ -1,0 +1,134 @@
+// Figure 1 reproduction: sub-tensor dynamics and distribution.
+//
+// The paper profiles ViT patch activations and BERT token activations
+// and observes (a) vastly different value ranges/variances across
+// sub-tensors of one tensor and (b) that individual sub-tensors are
+// well approximated by zero-mean Laplace distributions.
+//
+// This bench generates distribution-faithful activation tensors for
+// both model families, reports per-sub-tensor max/variance spread
+// (Figure 1a) and the goodness-of-fit of Laplace vs Normal models per
+// sub-tensor (Figure 1b-c), including KS statistics, log-likelihoods
+// and excess kurtosis.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/fit.hpp"
+#include "stats/histogram.hpp"
+#include "nn/synthetic.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace drift;
+
+namespace {
+
+struct FamilyReport {
+  std::string family;
+  double max_spread = 0.0;       ///< max over sub-tensors / min
+  double var_spread = 0.0;
+  double mean_ks_laplace = 0.0;
+  double mean_ks_normal = 0.0;
+  double laplace_wins = 0.0;     ///< fraction preferred by log-lik
+  double mean_kurtosis = 0.0;
+};
+
+FamilyReport profile_family(const std::string& name,
+                            const nn::SubTensorScaleProfile& profile,
+                            std::uint64_t seed, TextTable& subtensor_table) {
+  Rng rng(seed);
+  const std::int64_t tokens = 64, dim = 768;
+  const TensorF x = nn::synth_rows(rng, tokens, dim, profile);
+
+  FamilyReport rep;
+  rep.family = name;
+  double min_max = 1e30, max_max = 0.0, min_var = 1e30, max_var = 0.0;
+  int laplace_preferred = 0;
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    auto row = x.row(t);
+    const auto lap = stats::fit_laplace(row);
+    const auto nor = stats::fit_normal(row);
+    const double ks_lap =
+        stats::ks_statistic(row, [&](double v) { return lap.cdf(v); });
+    const double ks_nor =
+        stats::ks_statistic(row, [&](double v) { return nor.cdf(v); });
+    const double ll_lap =
+        stats::mean_log_likelihood(row, [&](double v) { return lap.pdf(v); });
+    const double ll_nor =
+        stats::mean_log_likelihood(row, [&](double v) { return nor.pdf(v); });
+    const auto s = stats::summarize(row);
+    min_max = std::min(min_max, s.max_abs);
+    max_max = std::max(max_max, s.max_abs);
+    min_var = std::min(min_var, s.variance);
+    max_var = std::max(max_var, s.variance);
+    rep.mean_ks_laplace += ks_lap;
+    rep.mean_ks_normal += ks_nor;
+    rep.mean_kurtosis += stats::excess_kurtosis(row);
+    if (ll_lap > ll_nor) ++laplace_preferred;
+    if (t < 6) {
+      subtensor_table.add_row(
+          {name, "token " + std::to_string(t), TextTable::fmt(s.max_abs),
+           TextTable::fmt(s.variance, 4), TextTable::fmt(lap.scale(), 4),
+           TextTable::fmt(ks_lap, 4), TextTable::fmt(ks_nor, 4)});
+    }
+  }
+  rep.max_spread = max_max / std::max(min_max, 1e-12);
+  rep.var_spread = max_var / std::max(min_var, 1e-12);
+  rep.mean_ks_laplace /= static_cast<double>(tokens);
+  rep.mean_ks_normal /= static_cast<double>(tokens);
+  rep.mean_kurtosis /= static_cast<double>(tokens);
+  rep.laplace_wins =
+      static_cast<double>(laplace_preferred) / static_cast<double>(tokens);
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 1: sub-tensor dynamics and distribution ===\n\n");
+
+  TextTable per_subtensor({"family", "sub-tensor", "max|Y|", "var(Y)",
+                           "Laplace b", "KS(Laplace)", "KS(Normal)"});
+  std::vector<FamilyReport> reports;
+  reports.push_back(
+      profile_family("ViT", nn::vit_profile(), 101, per_subtensor));
+  reports.push_back(
+      profile_family("BERT", nn::bert_profile(), 102, per_subtensor));
+  reports.push_back(
+      profile_family("LLM", nn::llm_profile(), 103, per_subtensor));
+
+  std::printf("(a) per-sub-tensor statistics (first 6 tokens each):\n%s\n",
+              per_subtensor.to_string().c_str());
+
+  TextTable agg({"family", "max spread", "var spread", "mean KS Laplace",
+                 "mean KS Normal", "Laplace preferred", "excess kurtosis"});
+  CsvWriter csv("fig1_subtensor_dynamics.csv",
+                {"family", "max_spread", "var_spread", "ks_laplace",
+                 "ks_normal", "laplace_preferred", "kurtosis"});
+  for (const auto& r : reports) {
+    agg.add_row({r.family, TextTable::ratio(r.max_spread, 1),
+                 TextTable::ratio(r.var_spread, 1),
+                 TextTable::fmt(r.mean_ks_laplace, 4),
+                 TextTable::fmt(r.mean_ks_normal, 4),
+                 TextTable::pct(r.laplace_wins),
+                 TextTable::fmt(r.mean_kurtosis, 2)});
+    csv.row_values(r.family, r.max_spread, r.var_spread, r.mean_ks_laplace,
+                   r.mean_ks_normal, r.laplace_wins, r.mean_kurtosis);
+  }
+  std::printf("(b/c) distribution fits per family:\n%s\n",
+              agg.to_string().c_str());
+
+  // A concrete sub-tensor histogram, as in Figure 1b.
+  Rng rng(104);
+  const TensorF x = nn::synth_rows(rng, 1, 4096, nn::bert_profile());
+  stats::Histogram hist(-2.0, 2.0, 21);
+  hist.add_all(x.data());
+  std::printf("sample BERT token histogram (Laplace shape):\n%s\n",
+              hist.ascii(48).c_str());
+
+  std::printf("paper claim check: sub-tensors span wide ranges and are\n"
+              "Laplace-preferred (KS(Laplace) < KS(Normal), kurtosis ~ +3).\n");
+  return 0;
+}

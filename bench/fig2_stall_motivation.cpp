@@ -1,0 +1,139 @@
+// Figure 2 reproduction: why existing precision-flexible accelerators
+// cannot execute dynamic precision.
+//
+// One BERT-sized GEMM layer is executed on a single fused-BitBrick
+// systolic array under four policies:
+//   1. static INT8 (what BitFusion actually does),
+//   2. hypothetical in-place dynamic execution where high-precision
+//      rows occupy PEs for two cycles (tandem-queue backpressure),
+//   3. DRQ's variable-speed array (run-switching with fallback),
+//   4. Drift's split arrays (the Section 4 answer).
+// The bench reports execution cycles and stall cycles per policy for a
+// contiguous (CNN-like) and a scattered (transformer-like) precision
+// pattern — the punchline is that the single-array policies lose their
+// dynamic-precision benefit exactly when the pattern interleaves.
+#include <cstdio>
+
+#include "core/analytical_model.hpp"
+#include "core/scheduler.hpp"
+#include "nn/precision_mix.hpp"
+#include "systolic/stall_model.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace drift;
+
+namespace {
+
+/// Deterministic pattern with exactly `high_every`-periodic structure:
+/// the same 20% of rows are high-precision in both patterns, but the
+/// contiguous variant groups them into one block while the scattered
+/// variant interleaves them every 5th row.
+std::vector<bool> make_pattern(std::int64_t rows, bool contiguous) {
+  std::vector<bool> pattern(static_cast<std::size_t>(rows), true);
+  if (contiguous) {
+    for (std::int64_t i = 0; i < rows / 5; ++i) {
+      pattern[static_cast<std::size_t>(i)] = false;
+    }
+  } else {
+    for (std::int64_t i = 0; i < rows; i += 5) {
+      pattern[static_cast<std::size_t>(i)] = false;
+    }
+  }
+  return pattern;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 2: data-flow stalls under dynamic precision ===\n\n");
+
+  const core::ArrayDims array{24, 33};
+  const std::int64_t M = 1024, K = 768, N = 768;
+
+  TextTable table({"pattern", "policy", "exe cycles", "stall cycles",
+                   "speedup vs INT8"});
+  CsvWriter csv("fig2_stall_motivation.csv",
+                {"pattern", "policy", "cycles", "stalls", "speedup"});
+
+  struct PatternSpec {
+    const char* name;
+    bool contiguous;
+  };
+  for (const PatternSpec& ps :
+       {PatternSpec{"contiguous (CNN regions)", true},
+        PatternSpec{"scattered (token stream)", false}}) {
+    const auto pattern = make_pattern(M, ps.contiguous);
+    std::int64_t m_low = 0;
+    for (bool b : pattern) m_low += b ? 1 : 0;
+
+    // Policy 1: static INT8 (BitFusion).
+    const std::int64_t int8_cycles =
+        core::ws_latency_cycles({M, K, N}, 8, 8, array);
+    table.add_row({ps.name, "BitFusion static INT8",
+                   std::to_string(int8_cycles), "0", "1.00x"});
+    csv.row_values(ps.name, "int8", int8_cycles, 0, 1.0);
+
+    auto emit = [&](const char* policy, std::int64_t cycles,
+                    std::int64_t stalls) {
+      table.add_row({ps.name, policy, std::to_string(cycles),
+                     std::to_string(stalls),
+                     TextTable::ratio(static_cast<double>(int8_cycles) /
+                                      static_cast<double>(cycles))});
+      csv.row_values(ps.name, policy, cycles, stalls,
+                     static_cast<double>(int8_cycles) /
+                         static_cast<double>(cycles));
+    };
+
+    // Policy 2: a hypothetical fused-PE array with per-row temporal
+    // recomposition (hardware BitFusion does not have: fusion is
+    // configured before runtime, Section 2.3); even this idealization
+    // pays backpressure stalls behind slow rows.
+    {
+      const auto costs = systolic::costs_from_pattern(pattern, 1, 2);
+      const std::int64_t k_tiles = (K + array.rows - 1) / array.rows;
+      const std::int64_t n_tiles =
+          (8 * N + 16 * array.cols - 1) / (16 * array.cols);
+      const std::int64_t stages = array.rows + array.cols - 1;
+      const std::int64_t per_tile =
+          array.rows + systolic::pipeline_exit_cycles(costs, stages);
+      const std::int64_t stalls =
+          systolic::pipeline_stall_cycles(costs, stages) * k_tiles * n_tiles;
+      emit("hypothetical per-row refusion", per_tile * k_tiles * n_tiles,
+           stalls);
+    }
+
+    // Policy 3: DRQ variable-speed array.
+    {
+      const auto run = systolic::run_switching_exe_cycles(pattern, 1, 2, 4);
+      const std::int64_t k_tiles = (K + array.rows - 1) / array.rows;
+      const std::int64_t n_tiles =
+          (8 * N + 16 * array.cols - 1) / (16 * array.cols);
+      const std::int64_t per_tile =
+          array.rows + run.exe_cycles + (array.rows + array.cols - 2);
+      emit(run.fell_back_to_high ? "DRQ variable-speed (fell back)"
+                                 : "DRQ variable-speed",
+           per_tile * k_tiles * n_tiles,
+           run.stall_cycles * k_tiles * n_tiles);
+    }
+
+    // Policy 4: Drift split arrays with balanced scheduling.
+    {
+      core::LayerWork work;
+      work.m_low = m_low;
+      work.m_high = M - m_low;
+      work.n_high = N;  // isolate the activation-side effect
+      work.k = K;
+      const auto split = core::schedule_greedy(work, array);
+      emit("Drift split arrays", split.makespan, 0);
+    }
+    table.add_separator();
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("paper claim check: single-array dynamic execution keeps its\n"
+              "benefit only for contiguous patterns; on scattered patterns\n"
+              "it degenerates to static INT8 while Drift's split arrays\n"
+              "retain the speedup.\n");
+  return 0;
+}

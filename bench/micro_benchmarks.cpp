@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks for the performance-critical
+// components: the per-sub-tensor selector (runs on every tensor at
+// inference time), the online scheduler (runs per layer), the stall
+// models and the cycle-level simulation.
+#include <benchmark/benchmark.h>
+
+#include "core/noise_budget.hpp"
+#include "core/scheduler.hpp"
+#include "core/selector.hpp"
+#include "dram/dram.hpp"
+#include "nn/synthetic.hpp"
+#include "systolic/cycle_sim.hpp"
+#include "systolic/stall_model.hpp"
+
+using namespace drift;
+
+namespace {
+
+void BM_SelectPrecision(benchmark::State& state) {
+  Rng rng(1);
+  const auto stats =
+      nn::sample_subtensor_stats(rng, 1024, 768, nn::bert_profile());
+  core::QuantParams params;
+  params.delta = 0.05;
+  core::SelectorConfig cfg;
+  cfg.density_threshold = 1.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::select_precision(stats[i % stats.size()], params, cfg));
+    ++i;
+  }
+}
+BENCHMARK(BM_SelectPrecision);
+
+void BM_AutoThreshold(benchmark::State& state) {
+  Rng rng(2);
+  const auto count = state.range(0);
+  const auto stats =
+      nn::sample_subtensor_stats(rng, count, 768, nn::bert_profile());
+  const std::vector<std::int64_t> sizes(stats.size(), 768);
+  core::QuantParams params;
+  params.delta = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::select_auto_threshold(
+        stats, sizes, params, core::SelectorConfig{}, 0.05));
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_AutoThreshold)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_ScheduleGreedy(benchmark::State& state) {
+  core::LayerWork work;
+  work.m_high = 40;
+  work.m_low = 984;
+  work.n_high = 300;
+  work.n_low = 2004;
+  work.k = 768;
+  const core::ArrayDims total{24, 33};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_greedy(work, total));
+  }
+}
+BENCHMARK(BM_ScheduleGreedy);
+
+void BM_ScheduleExhaustive(benchmark::State& state) {
+  core::LayerWork work;
+  work.m_high = 40;
+  work.m_low = 984;
+  work.n_high = 300;
+  work.n_low = 2004;
+  work.k = 768;
+  const core::ArrayDims total{24, 33};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_exhaustive(work, total));
+  }
+}
+BENCHMARK(BM_ScheduleExhaustive);
+
+void BM_PipelineStallModel(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::int64_t> costs(static_cast<std::size_t>(state.range(0)));
+  for (auto& c : costs) c = rng.bernoulli(0.8) ? 1 : 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(systolic::pipeline_exit_cycles(costs, 56));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PipelineStallModel)->Arg(1024)->Arg(16384);
+
+void BM_CycleSimTile(benchmark::State& state) {
+  Rng rng(4);
+  TensorI32 a(Shape{64, 16});
+  TensorI32 w(Shape{16, 16});
+  for (auto& v : a.data()) v = static_cast<std::int32_t>(rng.uniform_int(-7, 7));
+  for (auto& v : w.data()) v = static_cast<std::int32_t>(rng.uniform_int(-7, 7));
+  const std::vector<std::int64_t> costs(64, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(systolic::simulate_tile(a, w, costs));
+  }
+}
+BENCHMARK(BM_CycleSimTile);
+
+void BM_DramStream(benchmark::State& state) {
+  dram::DramModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.stream(1 << 16, false));
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_DramStream);
+
+}  // namespace
+
+BENCHMARK_MAIN();

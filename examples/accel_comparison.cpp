@@ -1,0 +1,71 @@
+// Accelerator comparison for any of the paper's models, with per-layer
+// cycle and energy detail.
+//
+// Usage: accel_comparison [model]
+//   model in {resnet18, resnet50, vit_b, deit_s, bert, gpt2_xl,
+//             bloom_7b1, opt_6p7b}; default resnet18.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "accel/compare.hpp"
+#include "util/table.hpp"
+
+using namespace drift;
+
+namespace {
+
+nn::WorkloadSpec pick_model(const std::string& name) {
+  if (name == "resnet50") return nn::make_resnet50();
+  if (name == "vit_b") return nn::make_vit_b16();
+  if (name == "deit_s") return nn::make_deit_s();
+  if (name == "bert") return nn::make_bert_base();
+  if (name == "gpt2_xl") return nn::make_gpt2_xl();
+  if (name == "bloom_7b1") return nn::make_bloom_7b1();
+  if (name == "opt_6p7b") return nn::make_opt_6p7b();
+  return nn::make_resnet18();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "resnet18";
+  const auto spec = pick_model(model);
+  std::printf("=== accelerator comparison: %s ===\n\n", spec.model.c_str());
+
+  accel::CompareConfig cfg;
+  cfg.noise_budget = 0.05;
+  const auto cmp = accel::compare_workload(spec, cfg);
+
+  TextTable summary({"design", "cycles", "time @500MHz (ms)",
+                     "speedup vs Eyeriss", "energy (mJ)", "DRAM MB"});
+  const auto add = [&](const accel::RunResult& r) {
+    summary.add_row(
+        {r.accelerator, std::to_string(r.cycles),
+         TextTable::fmt(r.seconds(500e6) * 1e3, 3),
+         TextTable::ratio(static_cast<double>(cmp.eyeriss.cycles) /
+                          static_cast<double>(r.cycles)),
+         TextTable::fmt(r.energy.total_pj() / 1e9, 3),
+         TextTable::fmt(static_cast<double>(r.dram_bytes) / 1e6, 1)});
+  };
+  add(cmp.eyeriss);
+  add(cmp.bitfusion);
+  add(cmp.drq);
+  add(cmp.drift);
+  std::printf("%s\n", summary.to_string().c_str());
+
+  // Per-layer detail of the Drift execution (first 12 layers).
+  TextTable detail({"layer", "compute cycles", "dram cycles", "bound",
+                    "utilization"});
+  std::size_t shown = 0;
+  for (const auto& l : cmp.drift.layers) {
+    if (shown++ >= 12) break;
+    detail.add_row({l.layer, std::to_string(l.compute_cycles),
+                    std::to_string(l.dram_cycles),
+                    l.dram_cycles > l.compute_cycles ? "memory" : "compute",
+                    TextTable::pct(l.utilization)});
+  }
+  std::printf("Drift per-layer detail (first %zu layers):\n%s\n", shown,
+              detail.to_string().c_str());
+  return 0;
+}

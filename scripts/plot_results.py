@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Plot the CSVs the bench binaries emit.
+
+Each bench writes a CSV into the working directory it ran from; point
+this script at that directory and it renders one PNG per available
+artifact (matplotlib required, everything optional):
+
+    python3 scripts/plot_results.py --dir . --out plots/
+
+The plots mirror the paper's figures: grouped speedup bars (Fig. 7),
+stacked energy breakdown (Fig. 8), accuracy bars (Fig. 6), and the
+threshold trade-off curve (ablation B).
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def maybe(path):
+    return path if os.path.exists(path) else None
+
+
+def plot_fig7(rows, out):
+    import matplotlib.pyplot as plt
+
+    models = [r["model"] for r in rows]
+    x = range(len(models))
+    width = 0.27
+    fig, ax = plt.subplots(figsize=(9, 4))
+    ax.bar([i - width for i in x], [float(r["bitfusion"]) for r in rows],
+           width, label="BitFusion")
+    ax.bar(list(x), [float(r["drq"]) for r in rows], width, label="DRQ")
+    ax.bar([i + width for i in x], [float(r["drift"]) for r in rows],
+           width, label="Drift")
+    ax.set_xticks(list(x))
+    ax.set_xticklabels(models, rotation=20)
+    ax.set_ylabel("speedup over Eyeriss")
+    ax.set_title("Figure 7: latency speedup")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out)
+    print("wrote", out)
+
+
+def plot_fig8(rows, out):
+    import matplotlib.pyplot as plt
+
+    designs = ["Eyeriss", "BitFusion", "DRQ", "Drift"]
+    models = sorted({r["model"] for r in rows})
+    fig, axes = plt.subplots(1, len(models), figsize=(3 * len(models), 4),
+                             sharey=True)
+    if len(models) == 1:
+        axes = [axes]
+    parts = ["static", "dram", "buffer", "core"]
+    for ax, model in zip(axes, models):
+        sel = {r["design"]: r for r in rows if r["model"] == model}
+        bottoms = [0.0] * len(designs)
+        for part in parts:
+            vals = [float(sel[d]["normalized"]) * float(sel[d][part])
+                    for d in designs]
+            ax.bar(designs, vals, bottom=bottoms, label=part)
+            bottoms = [b + v for b, v in zip(bottoms, vals)]
+        ax.set_title(model)
+        ax.tick_params(axis="x", rotation=45)
+    axes[0].set_ylabel("energy normalized to Eyeriss")
+    axes[-1].legend()
+    fig.suptitle("Figure 8: energy breakdown")
+    fig.tight_layout()
+    fig.savefig(out)
+    print("wrote", out)
+
+
+def plot_fig6(rows, out):
+    import matplotlib.pyplot as plt
+
+    models = [r["model"] for r in rows]
+    x = range(len(models))
+    width = 0.2
+    fig, ax = plt.subplots(figsize=(9, 4))
+    for off, key in zip((-1.5, -0.5, 0.5, 1.5),
+                        ("fp32", "int8", "drq", "drift")):
+        ax.bar([i + off * width for i in x],
+               [100 * float(r[key]) for r in rows], width,
+               label=key.upper())
+    ax.set_xticks(list(x))
+    ax.set_xticklabels(models, rotation=20)
+    ax.set_ylabel("accuracy (%)")
+    ax.set_title("Figure 6: accuracy per quantization scheme")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out)
+    print("wrote", out)
+
+
+def plot_threshold(rows, out):
+    import matplotlib.pyplot as plt
+
+    budgets = [float(r["budget"]) for r in rows]
+    fig, ax1 = plt.subplots(figsize=(6, 4))
+    ax1.semilogx(budgets, [100 * float(r["accuracy"]) for r in rows],
+                 "o-", label="accuracy")
+    ax1.set_xlabel("noise budget")
+    ax1.set_ylabel("accuracy (%)")
+    ax2 = ax1.twinx()
+    ax2.semilogx(budgets, [100 * float(r["low_fraction"]) for r in rows],
+                 "s--", color="tab:orange", label="4-bit share")
+    ax2.set_ylabel("4-bit share (%)")
+    ax1.set_title("Ablation B: threshold trade-off")
+    fig.tight_layout()
+    fig.savefig(out)
+    print("wrote", out)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".", help="where the CSVs live")
+    parser.add_argument("--out", default="plots", help="output directory")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        print("matplotlib not installed; nothing to do", file=sys.stderr)
+        return 1
+
+    os.makedirs(args.out, exist_ok=True)
+    d = args.dir
+    jobs = [
+        (maybe(os.path.join(d, "fig7_latency.csv")), plot_fig7, "fig7.png"),
+        (maybe(os.path.join(d, "fig8_energy.csv")), plot_fig8, "fig8.png"),
+        (maybe(os.path.join(d, "fig6_accuracy.csv")), plot_fig6, "fig6.png"),
+        (maybe(os.path.join(d, "ablation_threshold.csv")), plot_threshold,
+         "ablation_threshold.png"),
+    ]
+    plotted = 0
+    for path, fn, name in jobs:
+        if path is None:
+            continue
+        fn(read_csv(path), os.path.join(args.out, name))
+        plotted += 1
+    if plotted == 0:
+        print("no CSVs found in", d, "- run the bench binaries first",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+#include "accel/compare.hpp"
+
+#include "accel/bitfusion.hpp"
+#include "accel/drq_accel.hpp"
+#include "accel/eyeriss.hpp"
+#include "util/assert.hpp"
+
+namespace drift::accel {
+
+double Comparison::speedup_bitfusion() const {
+  return static_cast<double>(eyeriss.cycles) /
+         static_cast<double>(bitfusion.cycles);
+}
+double Comparison::speedup_drq() const {
+  return static_cast<double>(eyeriss.cycles) /
+         static_cast<double>(drq.cycles);
+}
+double Comparison::speedup_drift() const {
+  return static_cast<double>(eyeriss.cycles) /
+         static_cast<double>(drift.cycles);
+}
+
+double Comparison::energy_bitfusion() const {
+  return bitfusion.energy.total_pj() / eyeriss.energy.total_pj();
+}
+double Comparison::energy_drq() const {
+  return drq.energy.total_pj() / eyeriss.energy.total_pj();
+}
+double Comparison::energy_drift() const {
+  return drift.energy.total_pj() / eyeriss.energy.total_pj();
+}
+
+Comparison compare_workload(const nn::WorkloadSpec& spec,
+                            const CompareConfig& config) {
+  Comparison cmp;
+  cmp.model = spec.model;
+
+  // Per-design precision mixes, from the matching algorithm.
+  nn::MixConfig int8_mix;
+  int8_mix.algo = nn::MixAlgorithm::kStaticInt8;
+  int8_mix.seed = config.seed;
+
+  nn::MixConfig drq_mix;
+  drq_mix.algo = nn::MixAlgorithm::kDrq;
+  drq_mix.drq = config.drq_config;
+  drq_mix.seed = config.seed;
+
+  nn::MixConfig drift_mix;
+  drift_mix.algo = nn::MixAlgorithm::kDrift;
+  drift_mix.drift = config.drift_selector;
+  drift_mix.dynamic_weights = config.drift_dynamic_weights;
+  drift_mix.auto_threshold = config.auto_threshold;
+  drift_mix.noise_budget = config.noise_budget;
+  drift_mix.seed = config.seed;
+
+  const auto int8_mixes = nn::build_mixes(spec, int8_mix);
+  const auto drq_mixes = nn::build_mixes(spec, drq_mix);
+  const auto drift_mixes = nn::build_mixes(spec, drift_mix);
+
+  EyerissModel eyeriss(config.hw);
+  BitFusionModel bitfusion(config.hw);
+  DrqAccelModel drq(config.hw);
+  DriftAccelModel drift(config.hw, config.drift_policy);
+
+  cmp.eyeriss = eyeriss.run(spec, int8_mixes);  // mix ignored (FP32)
+  cmp.bitfusion = bitfusion.run(spec, int8_mixes);
+  cmp.drq = drq.run(spec, drq_mixes);
+  cmp.drift = drift.run(spec, drift_mixes);
+  return cmp;
+}
+
+}  // namespace drift::accel

@@ -1,0 +1,49 @@
+// End-to-end comparison harness: runs one workload on all four
+// accelerator models with the matching quantization algorithm per
+// design, and reports results normalized to Eyeriss (the convention of
+// Figures 7 and 8).
+#pragma once
+
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "accel/drift_accel.hpp"
+
+namespace drift::accel {
+
+/// One workload's results across the four designs.
+struct Comparison {
+  std::string model;
+  RunResult eyeriss;
+  RunResult bitfusion;
+  RunResult drq;
+  RunResult drift;
+
+  /// Latency speedups over Eyeriss (Figure 7's y-axis).
+  double speedup_bitfusion() const;
+  double speedup_drq() const;
+  double speedup_drift() const;
+
+  /// Normalized energy (Eyeriss = 1; Figure 8's y-axis).
+  double energy_bitfusion() const;
+  double energy_drq() const;
+  double energy_drift() const;
+};
+
+/// Mix-generation + comparison settings.
+struct CompareConfig {
+  AccelConfig hw{};
+  core::SelectorConfig drift_selector{};  ///< hp/lp (δ when fixed mode)
+  core::DrqConfig drq_config{};
+  bool drift_dynamic_weights = true;
+  bool auto_threshold = true;   ///< per-operand minimum-δ selection
+  double noise_budget = 0.05;   ///< excess-noise budget for auto mode
+  SchedulerPolicy drift_policy = SchedulerPolicy::kGreedy;
+  std::uint64_t seed = 17;
+};
+
+/// Runs the four designs on `spec`.
+Comparison compare_workload(const nn::WorkloadSpec& spec,
+                            const CompareConfig& config);
+
+}  // namespace drift::accel

@@ -1,0 +1,119 @@
+#include "accel/drift_accel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/fabric.hpp"
+#include "accel/traffic.hpp"
+#include "util/assert.hpp"
+
+namespace drift::accel {
+
+std::string to_string(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kGreedy: return "greedy";
+    case SchedulerPolicy::kExhaustive: return "exhaustive";
+    case SchedulerPolicy::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+std::string DriftAccelModel::name() const {
+  return policy_ == SchedulerPolicy::kGreedy
+             ? "Drift"
+             : "Drift(" + to_string(policy_) + ")";
+}
+
+core::SplitDecision DriftAccelModel::schedule(
+    const core::LayerWork& work) const {
+  switch (policy_) {
+    case SchedulerPolicy::kGreedy:
+      return core::schedule_greedy(work, config_.array);
+    case SchedulerPolicy::kExhaustive:
+      return core::schedule_exhaustive(work, config_.array);
+    case SchedulerPolicy::kFixed:
+      return core::schedule_fixed_quarters(work, config_.array);
+  }
+  DRIFT_CHECK(false, "unreachable policy");
+  return {};
+}
+
+RunResult DriftAccelModel::run(const nn::WorkloadSpec& spec,
+                               const std::vector<nn::LayerMix>& mixes) {
+  DRIFT_CHECK(mixes.size() == spec.layers.size(), "mix/layer mismatch");
+  RunResult result;
+  result.accelerator = name();
+  result.model = spec.model;
+  dram::DramModel dram(config_.dram);
+  const auto& ec = config_.energy;
+  const auto& array = config_.array;
+  BitGroupFabric fabric(array);
+
+  for (const nn::LayerMix& mix : mixes) {
+    const core::GemmDims& dims = mix.layer.dims;
+    LayerResult lr;
+    lr.layer = mix.layer.name;
+
+    const core::LayerWork& work = mix.work;
+    const core::SplitDecision split = schedule(work);
+    // Reprogram the BG link directions for this layer's split: the
+    // in-flight wavefronts drain and the changed link rows rewrite
+    // (accel/fabric.hpp models the exact cost).
+    const std::int64_t reconfigure =
+        fabric.reconfigure_cycles(split.r, split.c);
+    DRIFT_CHECK(fabric.validate().empty(),
+                "fabric configuration must form four systolic arrays");
+    lr.compute_cycles = split.makespan + reconfigure;
+
+    // Stalls for Drift are load imbalance: makespan minus the
+    // work-proportional lower bound on this many units.
+    const double total_bb_ops = total_bitbrick_ops(work);
+    const double ideal_cycles =
+        total_bb_ops / (static_cast<double>(array.units()) * 16.0);
+    lr.stall_cycles = std::max<std::int64_t>(
+        lr.compute_cycles - static_cast<std::int64_t>(std::ceil(ideal_cycles)),
+        0);
+
+    // Tiling for psum/act re-stream traffic: mix-weighted widths on the
+    // full grid (each quadrant tiles its own share; the aggregate is
+    // the same to first order).
+    const OperandBits bits = operand_bits_from_work(work);
+    const std::int64_t k_tiles = static_cast<std::int64_t>(std::ceil(
+        bits.act_bits * static_cast<double>(dims.K) /
+        static_cast<double>(4 * array.rows)));
+    const std::int64_t n_tiles = static_cast<std::int64_t>(std::ceil(
+        bits.weight_bits * static_cast<double>(dims.N) /
+        static_cast<double>(16 * array.cols)));
+    const LayerTraffic traffic =
+        compute_traffic(dims, bits, std::max<std::int64_t>(n_tiles, 1),
+                        std::max<std::int64_t>(k_tiles, 1), config_);
+    const DramOutcome mem = dram_outcome(traffic, dram);
+
+    lr.dram_cycles = mem.core_cycles;
+    lr.dram_bytes = traffic.dram_bytes();
+    lr.cycles = std::max(lr.compute_cycles, lr.dram_cycles) *
+                mix.layer.repeat;
+
+    // Utilization in BitBrick-op terms (16 BB ops per unit-cycle).
+    lr.utilization =
+        total_bb_ops / (static_cast<double>(lr.compute_cycles) *
+                        static_cast<double>(array.units()) * 16.0);
+
+    lr.energy.core_pj = core_energy_pj(work, ec) * mix.layer.repeat;
+    lr.energy.buffer_pj = buffer_energy_pj(traffic, ec) * mix.layer.repeat;
+    lr.energy.dram_pj = mem.energy_pj * mix.layer.repeat;
+
+    result.cycles += lr.cycles;
+    result.stall_cycles += lr.stall_cycles * mix.layer.repeat;
+    result.dram_bytes += lr.dram_bytes * mix.layer.repeat;
+    result.energy += lr.energy;
+    result.layers.push_back(std::move(lr));
+  }
+
+  result.energy.static_pj = ec.static_pj_per_unit_cycle *
+                            static_cast<double>(config_.array.units()) *
+                            static_cast<double>(result.cycles);
+  return result;
+}
+
+}  // namespace drift::accel

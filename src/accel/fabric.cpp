@@ -1,0 +1,117 @@
+#include "accel/fabric.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace drift::accel {
+
+BitGroupFabric::BitGroupFabric(core::ArrayDims dims)
+    : dims_(dims),
+      grid_(static_cast<std::size_t>(dims.rows * dims.cols)) {
+  DRIFT_CHECK(dims.rows > 0 && dims.cols > 0, "empty fabric");
+  // Power-on default: one whole-grid array (everything high-precision):
+  // acts stream east from the west edge, psums drain north (the whole
+  // grid is the "top half" of a degenerate split at r = rows).
+  configure_split(dims.rows, dims.cols);
+}
+
+const BgLinks& BitGroupFabric::links(std::int64_t row,
+                                     std::int64_t col) const {
+  DRIFT_CHECK_INDEX(row, dims_.rows);
+  DRIFT_CHECK_INDEX(col, dims_.cols);
+  return grid_[static_cast<std::size_t>(row * dims_.cols + col)];
+}
+
+BgLinks& BitGroupFabric::mutable_links(std::int64_t row, std::int64_t col) {
+  DRIFT_CHECK_INDEX(row, dims_.rows);
+  DRIFT_CHECK_INDEX(col, dims_.cols);
+  return grid_[static_cast<std::size_t>(row * dims_.cols + col)];
+}
+
+std::int64_t BitGroupFabric::configure_split(std::int64_t r,
+                                             std::int64_t c) {
+  DRIFT_CHECK(r >= 0 && r <= dims_.rows, "row cut out of range");
+  DRIFT_CHECK(c >= 0 && c <= dims_.cols, "column cut out of range");
+  std::int64_t rewrites = 0;
+  for (std::int64_t row = 0; row < dims_.rows; ++row) {
+    for (std::int64_t col = 0; col < dims_.cols; ++col) {
+      BgLinks next;
+      // Top half (high-precision activation rows) drains north so its
+      // outputs leave at the top edge; bottom half drains south.
+      next.psum = row < r ? PsumFlow::kNorth : PsumFlow::kSouth;
+      // Left half (high-precision weight columns) streams east from
+      // the west edge; right half streams west from the east edge.
+      next.act = col < c ? ActFlow::kEast : ActFlow::kWest;
+      BgLinks& cur = mutable_links(row, col);
+      if (!(cur == next)) {
+        ++rewrites;
+        cur = next;
+      }
+    }
+  }
+  r_ = r;
+  c_ = c;
+  return rewrites;
+}
+
+std::int64_t BitGroupFabric::reconfigure_cycles(std::int64_t r,
+                                                std::int64_t c) {
+  const std::int64_t drain = dims_.rows + dims_.cols - 2;
+  const std::int64_t before_r = r_, before_c = c_;
+  const std::int64_t rewrites = configure_split(r, c);
+  if (rewrites == 0 && before_r == r && before_c == c) return 0;
+  // Config bus broadcasts one row of link registers per cycle; only
+  // rows whose links changed need a broadcast.
+  const std::int64_t changed_rows =
+      (std::max(before_r, r) - std::min(before_r, r)) +
+      (before_c != c ? dims_.rows : 0);
+  return drain + std::min<std::int64_t>(changed_rows, dims_.rows);
+}
+
+std::vector<SubArray> BitGroupFabric::sub_arrays() const {
+  return {
+      {core::Quadrant::kHH, 0, r_, 0, c_},
+      {core::Quadrant::kHL, 0, r_, c_, dims_.cols - c_},
+      {core::Quadrant::kLH, r_, dims_.rows - r_, 0, c_},
+      {core::Quadrant::kLL, r_, dims_.rows - r_, c_, dims_.cols - c_},
+  };
+}
+
+std::string BitGroupFabric::validate() const {
+  std::ostringstream problems;
+  // Psum chains: every column must flow uniformly north within the top
+  // block and uniformly south within the bottom block, so each chain
+  // reaches a chip edge without crossing the cut at row r_.
+  for (std::int64_t col = 0; col < dims_.cols; ++col) {
+    for (std::int64_t row = 0; row < dims_.rows; ++row) {
+      const PsumFlow expect =
+          row < r_ ? PsumFlow::kNorth : PsumFlow::kSouth;
+      if (links(row, col).psum != expect) {
+        problems << "psum link at (" << row << "," << col
+                 << ") crosses the row cut; ";
+      }
+    }
+  }
+  // Activation streams: uniform east in the left block, west in the
+  // right block, so each stream originates at a chip edge.
+  for (std::int64_t row = 0; row < dims_.rows; ++row) {
+    for (std::int64_t col = 0; col < dims_.cols; ++col) {
+      const ActFlow expect = col < c_ ? ActFlow::kEast : ActFlow::kWest;
+      if (links(row, col).act != expect) {
+        problems << "act link at (" << row << "," << col
+                 << ") crosses the column cut; ";
+      }
+    }
+  }
+  // Sub-array extents must tile the grid exactly.
+  std::int64_t covered = 0;
+  for (const SubArray& sa : sub_arrays()) covered += sa.rows * sa.cols;
+  if (covered != dims_.rows * dims_.cols) {
+    problems << "sub-arrays do not tile the grid; ";
+  }
+  return problems.str();
+}
+
+}  // namespace drift::accel

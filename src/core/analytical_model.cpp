@@ -1,0 +1,36 @@
+#include "core/analytical_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace drift::core {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+std::int64_t ws_tile_repetitions(const GemmDims& gemm, int pa, int pw,
+                                 const ArrayDims& array) {
+  DRIFT_CHECK(pa > 0 && pw > 0, "precisions must be positive");
+  if (gemm.empty()) return 0;
+  if (array.rows <= 0 || array.cols <= 0) return kInfeasibleLatency;
+  const std::int64_t k_tiles = ceil_div(static_cast<std::int64_t>(pa) * gemm.K,
+                                        4 * array.rows);
+  const std::int64_t n_tiles = ceil_div(static_cast<std::int64_t>(pw) * gemm.N,
+                                        16 * array.cols);
+  return k_tiles * n_tiles;
+}
+
+std::int64_t ws_latency_cycles(const GemmDims& gemm, int pa, int pw,
+                               const ArrayDims& array) {
+  if (gemm.empty()) return 0;
+  if (array.rows <= 0 || array.cols <= 0) return kInfeasibleLatency;
+  const std::int64_t reps = ws_tile_repetitions(gemm, pa, pw, array);
+  const std::int64_t t_pre = array.rows;
+  const std::int64_t t_exe = gemm.M + array.rows + array.cols - 2;
+  return (t_pre + t_exe) * reps;
+}
+
+}  // namespace drift::core

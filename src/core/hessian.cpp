@@ -1,0 +1,78 @@
+#include "core/hessian.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace drift::core {
+
+double curvature_along(const LossFn& loss, std::span<const float> x,
+                       std::span<const float> direction, double step) {
+  DRIFT_CHECK(x.size() == direction.size(), "direction size mismatch");
+  DRIFT_CHECK(step > 0.0, "step must be positive");
+  std::vector<float> plus(x.begin(), x.end());
+  std::vector<float> minus(x.begin(), x.end());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = static_cast<double>(direction[i]) * step;
+    plus[i] = static_cast<float>(plus[i] + d);
+    minus[i] = static_cast<float>(minus[i] - d);
+  }
+  const double l0 = loss(x);
+  const double lp = loss(plus);
+  const double lm = loss(minus);
+  return (lp - 2.0 * l0 + lm) / (step * step);
+}
+
+double hessian_trace_estimate(const LossFn& loss, std::span<const float> x,
+                              Rng& rng, int probes, double step) {
+  DRIFT_CHECK(probes > 0, "need at least one probe");
+  double acc = 0.0;
+  std::vector<float> v(x.size());
+  for (int p = 0; p < probes; ++p) {
+    for (auto& vi : v) vi = static_cast<float>(rng.rademacher());
+    acc += curvature_along(loss, x, v, step);
+  }
+  return acc / static_cast<double>(probes);
+}
+
+ThresholdSearchResult select_threshold_hessian_aware(
+    const LossFn& loss, std::span<const float> x,
+    const std::function<std::vector<float>(double)>& render_at,
+    const std::function<double(double)>& low_fraction_at,
+    std::span<const double> grid, double loss_budget) {
+  DRIFT_CHECK(!grid.empty(), "empty threshold grid");
+  DRIFT_CHECK(std::is_sorted(grid.begin(), grid.end()),
+              "threshold grid must be ascending");
+
+  ThresholdSearchResult result;
+  result.candidates.reserve(grid.size());
+  for (double delta : grid) {
+    const std::vector<float> rendered = render_at(delta);
+    DRIFT_CHECK(rendered.size() == x.size(), "render size mismatch");
+    std::vector<float> direction(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      direction[i] = rendered[i] - x[i];
+    }
+    const double dthd = curvature_along(loss, x, direction);
+    ThresholdCandidate cand;
+    cand.delta_threshold = delta;
+    // Clamp: a locally concave loss would predict a decrease; for
+    // threshold selection we treat that as zero impact.
+    cand.predicted_loss_increase = std::max(0.5 * dthd, 0.0);
+    cand.low_fraction = low_fraction_at(delta);
+    result.candidates.push_back(cand);
+
+    if (!result.within_budget &&
+        cand.predicted_loss_increase <= loss_budget) {
+      result.chosen_delta = delta;
+      result.within_budget = true;
+    }
+  }
+  if (!result.within_budget) {
+    result.chosen_delta = grid.back();
+  }
+  return result;
+}
+
+}  // namespace drift::core

@@ -1,0 +1,70 @@
+// Hessian-aware threshold selection (Section 3.3).
+//
+// The density threshold δ of Equation 6 trades 4-bit coverage against
+// accuracy.  Following HAWQ / Q-BERT, the paper selects the *minimum*
+// δ whose accuracy impact is negligible, so as many sub-tensors as
+// possible run at low precision.  We reproduce the rule with numeric
+// second-order information: for a candidate δ, the quantization
+// perturbation d(δ) = render(δ) - x has predicted loss increase
+//
+//   ΔL(δ) ≈ 1/2 · d(δ)ᵀ H d(δ)
+//
+// (the gradient term vanishes at a trained model), where dᵀHd is
+// estimated by a central finite difference of the loss along d.  The
+// search walks the δ grid from small (aggressive) to large and keeps
+// the first δ whose predicted ΔL fits the budget.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace drift::core {
+
+/// A loss functional over a flat parameter/activation vector.
+using LossFn = std::function<double(std::span<const float>)>;
+
+/// dᵀ H d via the central second difference
+///   (L(x + s·d) - 2·L(x) + L(x - s·d)) / s²
+/// with step fraction `s` (the full perturbation is s·d).
+double curvature_along(const LossFn& loss, std::span<const float> x,
+                       std::span<const float> direction, double step = 0.5);
+
+/// Hutchinson estimator of trace(H): mean of vᵀHv over `probes`
+/// Rademacher vectors v, each curvature via curvature_along.
+double hessian_trace_estimate(const LossFn& loss, std::span<const float> x,
+                              Rng& rng, int probes = 8, double step = 1e-2);
+
+/// One evaluated grid point of the δ search.
+struct ThresholdCandidate {
+  double delta_threshold = 0.0;       ///< δ
+  double predicted_loss_increase = 0.0;  ///< 1/2 dᵀHd
+  double low_fraction = 0.0;          ///< 4-bit element fraction at this δ
+};
+
+/// Outcome of the δ search.
+struct ThresholdSearchResult {
+  double chosen_delta = 0.0;
+  bool within_budget = false;  ///< false: even the largest δ exceeds budget
+  std::vector<ThresholdCandidate> candidates;
+};
+
+/// Hessian-aware δ search.
+///  - `loss`: model loss functional over the activation vector.
+///  - `x`: the unperturbed activations.
+///  - `render_at(δ)`: the dequantized rendering the accelerator would
+///    compute with at threshold δ (same length as x).
+///  - `low_fraction_at(δ)`: 4-bit element fraction at threshold δ.
+///  - `grid`: ascending candidate δ values.
+///  - `loss_budget`: maximum tolerated predicted ΔL.
+/// Returns the smallest grid δ within budget, or the largest grid δ
+/// (flagged `within_budget = false`) when none qualifies.
+ThresholdSearchResult select_threshold_hessian_aware(
+    const LossFn& loss, std::span<const float> x,
+    const std::function<std::vector<float>(double)>& render_at,
+    const std::function<double(double)>& low_fraction_at,
+    std::span<const double> grid, double loss_budget);
+
+}  // namespace drift::core

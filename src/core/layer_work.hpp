@@ -1,0 +1,37 @@
+// Bridges algorithm output (PrecisionMaps) to hardware workload
+// descriptions (LayerWork quadruples for the scheduler).
+//
+// Convention: the activation matrix of a layer GEMM is [M, K] with one
+// sub-tensor per row (token / patch / im2col row group), and the weight
+// matrix is stored output-major [N, K] with one sub-tensor per output
+// channel.  The activation map's low/high row split gives (M_l, M_h);
+// the weight map's gives (N_l, N_h).
+#pragma once
+
+#include <cstdint>
+
+#include "core/scheduler.hpp"
+#include "core/selector.hpp"
+
+namespace drift::core {
+
+/// Builds the scheduler workload for one GEMM layer from the two
+/// precision maps.  `act_map` must have one decision per GEMM row and
+/// `weight_map` one per output channel.
+LayerWork make_layer_work(const PrecisionMap& act_map,
+                          const PrecisionMap& weight_map, std::int64_t k);
+
+/// Workload where only activations are dynamic and all weights stay at
+/// the map's high precision (the paper's main configuration quantizes
+/// weights statically per channel; pass the weight low fraction = 0).
+LayerWork make_layer_work_static_weights(const PrecisionMap& act_map,
+                                         std::int64_t n, std::int64_t k,
+                                         double weight_low_fraction = 0.0);
+
+/// Fraction of MACs at (4-bit x 4-bit), the most aggressive class.
+double ll_mac_fraction(const LayerWork& work);
+
+/// Fraction of MACs where at least one operand is low precision.
+double any_low_mac_fraction(const LayerWork& work);
+
+}  // namespace drift::core

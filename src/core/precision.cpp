@@ -1,0 +1,19 @@
+#include "core/precision.hpp"
+
+#include "util/assert.hpp"
+
+namespace drift::core {
+
+std::vector<ConversionChoice> enumerate_choices(Precision hp, Precision lp) {
+  DRIFT_CHECK(hp.bits() >= lp.bits(), "hp must be at least lp");
+  DRIFT_CHECK(lp.bits() >= 2, "need at least 2 bits (sign + magnitude)");
+  const int clip_total = hp.bits() - lp.bits();
+  std::vector<ConversionChoice> choices;
+  choices.reserve(static_cast<std::size_t>(clip_total) + 1);
+  for (int hc = 0; hc <= clip_total; ++hc) {
+    choices.push_back({hc, clip_total - hc});
+  }
+  return choices;
+}
+
+}  // namespace drift::core

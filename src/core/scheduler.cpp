@@ -1,0 +1,123 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace drift::core {
+namespace {
+
+std::int64_t makespan_of(const std::array<std::int64_t, 4>& lat) {
+  return *std::max_element(lat.begin(), lat.end());
+}
+
+SplitDecision evaluate(const LayerWork& work, const ArrayDims& total,
+                       std::int64_t r, std::int64_t c) {
+  SplitDecision d;
+  d.r = r;
+  d.c = c;
+  d.latency = quadrant_latencies(work, total, r, c);
+  d.makespan = makespan_of(d.latency);
+  return d;
+}
+
+}  // namespace
+
+std::array<std::int64_t, 4> quadrant_latencies(const LayerWork& work,
+                                               const ArrayDims& total,
+                                               std::int64_t r,
+                                               std::int64_t c) {
+  DRIFT_CHECK(r >= 0 && r <= total.rows, "row split out of range");
+  DRIFT_CHECK(c >= 0 && c <= total.cols, "column split out of range");
+  const GemmDims hh{work.m_high, work.k, work.n_high};
+  const GemmDims hl{work.m_high, work.k, work.n_low};
+  const GemmDims lh{work.m_low, work.k, work.n_high};
+  const GemmDims ll{work.m_low, work.k, work.n_low};
+  const ArrayDims top_left{r, c};
+  const ArrayDims top_right{r, total.cols - c};
+  const ArrayDims bottom_left{total.rows - r, c};
+  const ArrayDims bottom_right{total.rows - r, total.cols - c};
+  return {
+      ws_latency_cycles(hh, work.pa_high, work.pw_high, top_left),
+      ws_latency_cycles(hl, work.pa_high, work.pw_low, top_right),
+      ws_latency_cycles(lh, work.pa_low, work.pw_high, bottom_left),
+      ws_latency_cycles(ll, work.pa_low, work.pw_low, bottom_right),
+  };
+}
+
+SplitDecision schedule_greedy(const LayerWork& work, const ArrayDims& total) {
+  DRIFT_CHECK(total.rows > 0 && total.cols > 0, "empty array");
+  // Feasible split band: a non-empty class must receive at least one
+  // row/column slice.
+  const std::int64_t r_min = work.m_high > 0 ? 1 : 0;
+  const std::int64_t r_max = work.m_low > 0 ? total.rows - 1 : total.rows;
+  const std::int64_t c_min = work.n_high > 0 ? 1 : 0;
+  const std::int64_t c_max = work.n_low > 0 ? total.cols - 1 : total.cols;
+  DRIFT_CHECK(r_min <= r_max && c_min <= c_max,
+              "array too small to host all precision classes");
+
+  // Seed the split proportionally to the bit-volume on each axis; this
+  // is what the hardware can compute in O(1) from the index buffer.
+  const std::int64_t row_high_bits = work.m_high * work.pa_high;
+  const std::int64_t row_low_bits = work.m_low * work.pa_low;
+  const std::int64_t col_high_bits = work.n_high * work.pw_high;
+  const std::int64_t col_low_bits = work.n_low * work.pw_low;
+  std::int64_t r = row_high_bits + row_low_bits == 0
+                       ? total.rows / 2
+                       : total.rows * row_high_bits /
+                             std::max<std::int64_t>(
+                                 row_high_bits + row_low_bits, 1);
+  std::int64_t c = col_high_bits + col_low_bits == 0
+                       ? total.cols / 2
+                       : total.cols * col_high_bits /
+                             std::max<std::int64_t>(
+                                 col_high_bits + col_low_bits, 1);
+  r = std::clamp(r, r_min, r_max);
+  c = std::clamp(c, c_min, c_max);
+
+  SplitDecision best = evaluate(work, total, r, c);
+  // Alternate 1-D sweeps; each sweep scans its whole axis, so the loop
+  // terminates (makespan strictly decreases or we stop).
+  for (int iter = 0; iter < 8; ++iter) {
+    SplitDecision round_best = best;
+    for (std::int64_t cand = r_min; cand <= r_max; ++cand) {
+      SplitDecision d = evaluate(work, total, cand, round_best.c);
+      if (d.makespan < round_best.makespan) round_best = d;
+    }
+    for (std::int64_t cand = c_min; cand <= c_max; ++cand) {
+      SplitDecision d = evaluate(work, total, round_best.r, cand);
+      if (d.makespan < round_best.makespan) round_best = d;
+    }
+    if (round_best.makespan >= best.makespan) break;
+    best = round_best;
+  }
+  return best;
+}
+
+SplitDecision schedule_exhaustive(const LayerWork& work,
+                                  const ArrayDims& total) {
+  DRIFT_CHECK(total.rows > 0 && total.cols > 0, "empty array");
+  SplitDecision best = evaluate(work, total, 0, 0);
+  for (std::int64_t r = 0; r <= total.rows; ++r) {
+    for (std::int64_t c = 0; c <= total.cols; ++c) {
+      SplitDecision d = evaluate(work, total, r, c);
+      if (d.makespan < best.makespan) best = d;
+    }
+  }
+  return best;
+}
+
+SplitDecision schedule_fixed_quarters(const LayerWork& work,
+                                      const ArrayDims& total) {
+  DRIFT_CHECK(total.rows > 0 && total.cols > 0, "empty array");
+  std::int64_t r = total.rows / 2;
+  std::int64_t c = total.cols / 2;
+  // Keep the mapping feasible when one class is empty.
+  if (work.m_high == 0) r = 0;
+  if (work.m_low == 0) r = total.rows;
+  if (work.n_high == 0) c = 0;
+  if (work.n_low == 0) c = total.cols;
+  return evaluate(work, total, r, c);
+}
+
+}  // namespace drift::core

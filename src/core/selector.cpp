@@ -1,0 +1,170 @@
+#include "core/selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/capability.hpp"
+#include "util/assert.hpp"
+
+namespace drift::core {
+
+SubTensorStats compute_stats(const SubTensorView& view,
+                             std::span<const float> buffer) {
+  DRIFT_CHECK(view.size() > 0, "empty sub-tensor view");
+  double max_abs = 0.0, sum_abs = 0.0, sum = 0.0, sum_sq = 0.0;
+  view.for_each<float>(buffer, [&](float x) {
+    const double v = static_cast<double>(x);
+    const double a = std::abs(v);
+    max_abs = std::max(max_abs, a);
+    sum_abs += a;
+    sum += v;
+    sum_sq += v * v;
+  });
+  const double n = static_cast<double>(view.size());
+  return SubTensorStats{max_abs, sum_abs / n, sum / n, sum_sq / n};
+}
+
+std::vector<SubTensorStats> compute_stats(
+    const std::vector<SubTensorView>& views, std::span<const float> buffer) {
+  std::vector<SubTensorStats> stats;
+  stats.reserve(views.size());
+  for (const auto& v : views) stats.push_back(compute_stats(v, buffer));
+  return stats;
+}
+
+PrecisionDecision select_precision(const SubTensorStats& stats,
+                                   const QuantParams& params,
+                                   const SelectorConfig& config) {
+  const int clip_total = config.hp.bits() - config.lp.bits();
+  DRIFT_CHECK(clip_total >= 0, "lp wider than hp");
+
+  // All-(near-)zero sub-tensor: any rendering represents it exactly, so
+  // take the low precision with the maximal high-end clip.
+  if (stats.max_abs <= 0.0) {
+    return PrecisionDecision{true, ConversionChoice{clip_total, 0}};
+  }
+
+  // Step 1 (Equation 5): the largest hc whose representation range
+  // still covers max(|Y|):  hc = floor(log2(max_level(hp)*Δ / max|Y|)).
+  const double full_range = static_cast<double>(config.hp.max_level()) *
+                            params.delta;
+  int hc = 0;
+  if (full_range > stats.max_abs) {
+    hc = static_cast<int>(std::floor(std::log2(full_range / stats.max_abs)));
+  }
+  hc = std::clamp(hc, 0, clip_total);
+  // Equation 5 uses the paper's RR = (2^(hp-1)-1)/2^hc * Δ, which is a
+  // whisker optimistic: the lp rendering actually tops out at
+  // (2^(lp-1)-1) * 2^lc * Δ (e.g. 112Δ, not 127Δ, for 8->4 with lc=4).
+  // The hardware comparator applies the exact bound, so we lower hc
+  // until the rendering truly covers max(|Y|) — and fall back to high
+  // precision for sub-tensors that span the full tensor range, which
+  // no 4-bit rendering can hold without clamping.
+  auto exact_range = [&](int hc_candidate) {
+    const int lc = clip_total - hc_candidate;
+    return static_cast<double>(config.lp.max_level()) *
+           static_cast<double>(std::int64_t{1} << lc) * params.delta;
+  };
+  while (hc > 0 && exact_range(hc) < stats.max_abs) --hc;
+  if (exact_range(hc) < stats.max_abs) {
+    return PrecisionDecision{false, ConversionChoice{0, clip_total}};
+  }
+  const ConversionChoice choice{hc, clip_total - hc};
+
+  // Step 2 (Equation 6): accept iff var(Y) / RD >= δ, with the Laplace
+  // identity var(Y) = 2*avg(|Y|)^2 standing in for the true variance.
+  // Equation 6's raw ratio carries the units of Y, so the workable δ
+  // would change with every tensor's scale; we evaluate the criterion
+  // in integer-code units (divide both sides by Δ), which is exactly
+  // Eq. 6 with δ = density_threshold * Δ and makes one dimensionless
+  // threshold transfer across layers — the quantity the Hessian-aware
+  // search actually tunes.
+  const double rd = representation_density(choice.lc, params.delta);
+  const double ratio_code_units =
+      stats.laplace_variance() / (rd * params.delta);
+  const bool dense_enough = ratio_code_units >= config.density_threshold;
+
+  return PrecisionDecision{dense_enough, choice};
+}
+
+PrecisionMap::PrecisionMap(std::vector<PrecisionDecision> decisions,
+                           std::vector<std::int64_t> sizes,
+                           SelectorConfig config)
+    : decisions_(std::move(decisions)), sizes_(std::move(sizes)),
+      config_(config) {
+  DRIFT_CHECK(decisions_.size() == sizes_.size(),
+              "decision/size count mismatch");
+  for (std::size_t i = 0; i < decisions_.size(); ++i) {
+    DRIFT_CHECK(sizes_[i] > 0, "sub-tensor size must be positive");
+    total_elements_ += sizes_[i];
+    if (decisions_[i].use_low) {
+      low_elements_ += sizes_[i];
+      ++low_count_;
+    }
+  }
+}
+
+const PrecisionDecision& PrecisionMap::decision(std::size_t i) const {
+  DRIFT_CHECK_INDEX(i, decisions_.size());
+  return decisions_[i];
+}
+
+std::int64_t PrecisionMap::subtensor_size(std::size_t i) const {
+  DRIFT_CHECK_INDEX(i, sizes_.size());
+  return sizes_[i];
+}
+
+double PrecisionMap::low_fraction_by_count() const {
+  if (decisions_.empty()) return 0.0;
+  return static_cast<double>(low_count_) /
+         static_cast<double>(decisions_.size());
+}
+
+double PrecisionMap::low_fraction_by_elements() const {
+  if (total_elements_ == 0) return 0.0;
+  return static_cast<double>(low_elements_) /
+         static_cast<double>(total_elements_);
+}
+
+PrecisionMap DynamicQuantizer::select(std::span<const float> values,
+                                      const std::vector<SubTensorView>& views,
+                                      const QuantParams& params) const {
+  DRIFT_CHECK(params.bits == config_.hp,
+              "quant params precision must match selector hp");
+  std::vector<PrecisionDecision> decisions;
+  std::vector<std::int64_t> sizes;
+  decisions.reserve(views.size());
+  sizes.reserve(views.size());
+  for (const auto& view : views) {
+    decisions.push_back(
+        select_precision(compute_stats(view, values), params, config_));
+    sizes.push_back(view.size());
+  }
+  return PrecisionMap(std::move(decisions), std::move(sizes), config_);
+}
+
+std::vector<float> DynamicQuantizer::apply(
+    std::span<const float> values, const std::vector<SubTensorView>& views,
+    const QuantParams& params, const PrecisionMap& map) const {
+  DRIFT_CHECK(views.size() == map.num_subtensors(),
+              "view/map count mismatch");
+  std::vector<float> out(values.size());
+  // Default: full-precision (hp) rendering everywhere.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = dequantize_value(quantize_value(values[i], params), params);
+  }
+  // Overwrite low-selected sub-tensors with their lp rendering.
+  for (std::size_t v = 0; v < views.size(); ++v) {
+    const PrecisionDecision& d = map.decision(v);
+    if (!d.use_low) continue;
+    std::span<float> out_span(out);
+    views[v].transform<float>(out_span, [&](float& x) {
+      const std::int32_t q = quantize_value(x, params);
+      const std::int32_t q_lp = convert_to_low(q, config_.lp, d.choice);
+      x = dequantize_low(q_lp, params, d.choice);
+    });
+  }
+  return out;
+}
+
+}  // namespace drift::core

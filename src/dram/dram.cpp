@@ -1,0 +1,98 @@
+#include "dram/dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace drift::dram {
+
+DramModel::DramModel(const DramConfig& config) : config_(config) {
+  DRIFT_CHECK(config.channels > 0 && config.banks_per_channel > 0,
+              "invalid DRAM geometry");
+  DRIFT_CHECK(config.row_bytes > 0 && config.burst_bytes > 0 &&
+                  config.row_bytes % config.burst_bytes == 0,
+              "row size must be a multiple of the burst size");
+  DRIFT_CHECK(config.mem_cycles_per_core_cycle > 0.0, "invalid clock ratio");
+  banks_.resize(
+      static_cast<std::size_t>(config.channels * config.banks_per_channel));
+}
+
+TransferResult DramModel::transfer(std::int64_t address, std::int64_t bytes,
+                                   bool is_write) {
+  DRIFT_CHECK(address >= 0 && bytes >= 0, "invalid transfer");
+  TransferResult result;
+  if (bytes == 0) return result;
+
+  // Address mapping: bursts interleave across channels, then rows map
+  // onto banks round-robin — the streaming-friendly mapping DNN
+  // accelerators use.
+  const std::int64_t first_burst = address / config_.burst_bytes;
+  const std::int64_t last_burst =
+      (address + bytes - 1) / config_.burst_bytes;
+  const std::int64_t bursts_per_row =
+      config_.row_bytes / config_.burst_bytes;
+
+  // Per-channel bus occupancy in memory cycles.
+  std::vector<std::int64_t> channel_busy(
+      static_cast<std::size_t>(config_.channels), 0);
+
+  for (std::int64_t b = first_burst; b <= last_burst; ++b) {
+    const std::int64_t channel = b % config_.channels;
+    const std::int64_t row_global = b / (bursts_per_row * config_.channels);
+    const std::int64_t bank_idx = row_global % config_.banks_per_channel;
+    Bank& bank = banks_[static_cast<std::size_t>(
+        channel * config_.banks_per_channel + bank_idx)];
+
+    std::int64_t burst_cost = config_.t_bl;
+    if (bank.open_row == row_global) {
+      ++stats_.row_hits;
+    } else {
+      ++stats_.row_misses;
+      const bool needs_precharge = bank.open_row >= 0;
+      burst_cost += config_.t_rcd + config_.t_cl +
+                    (needs_precharge ? config_.t_rp : 0);
+      bank.open_row = row_global;
+      result.energy_pj += config_.e_activate_pj;
+      stats_.energy_pj += config_.e_activate_pj;
+    }
+    channel_busy[static_cast<std::size_t>(channel)] += burst_cost;
+    result.energy_pj += config_.e_burst_pj;
+    stats_.energy_pj += config_.e_burst_pj;
+    if (is_write) ++stats_.writes; else ++stats_.reads;
+  }
+
+  std::int64_t busy = 0;
+  for (std::int64_t c : channel_busy) busy = std::max(busy, c);
+  stats_.busy_mem_cycles += busy;
+
+  result.core_cycles = static_cast<std::int64_t>(std::ceil(
+      static_cast<double>(busy) / config_.mem_cycles_per_core_cycle));
+  // Background energy for the occupancy window.
+  const double background =
+      config_.e_background_pj_per_core_cycle *
+      static_cast<double>(result.core_cycles);
+  result.energy_pj += background;
+  stats_.energy_pj += background;
+  return result;
+}
+
+TransferResult DramModel::stream(std::int64_t bytes, bool is_write) {
+  const TransferResult r = transfer(bump_address_, bytes, is_write);
+  // Advance to a fresh row boundary so independent tensors do not
+  // accidentally share rows.
+  bump_address_ +=
+      ((bytes + config_.row_bytes - 1) / config_.row_bytes + 1) *
+      config_.row_bytes;
+  return r;
+}
+
+double DramModel::peak_bytes_per_core_cycle() const {
+  // Row-hit steady state: one burst per t_bl per channel.
+  const double bytes_per_mem_cycle =
+      static_cast<double>(config_.burst_bytes * config_.channels) /
+      static_cast<double>(config_.t_bl);
+  return bytes_per_mem_cycle * config_.mem_cycles_per_core_cycle;
+}
+
+}  // namespace drift::dram

@@ -1,0 +1,57 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/gemm.hpp"
+#include "util/assert.hpp"
+
+namespace drift::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::string name, std::int64_t dim,
+                                       std::int64_t heads, Rng& rng)
+    : name_(std::move(name)), dim_(dim), heads_(heads),
+      head_dim_(dim / heads), qkv_(name_ + ".qkv", dim, 3 * dim, rng),
+      proj_(name_ + ".proj", dim, dim, rng) {
+  DRIFT_CHECK(dim > 0 && heads > 0 && dim % heads == 0,
+              "dim must divide evenly into heads");
+}
+
+TensorF MultiHeadAttention::forward(const TensorF& input,
+                                    QuantEngine& engine) {
+  DRIFT_CHECK(input.shape().rank() == 2, "attention expects [T, D]");
+  DRIFT_CHECK(input.shape().dim(1) == dim_, "attention width mismatch");
+  const std::int64_t T = input.shape().dim(0);
+
+  const TensorF qkv = qkv_.forward(input, engine);  // [T, 3D]
+  const double inv_sqrt_d = 1.0 / std::sqrt(static_cast<double>(head_dim_));
+
+  TensorF context(Shape{T, dim_}, 0.0f);
+  for (std::int64_t h = 0; h < heads_; ++h) {
+    // Slice Q, K, V for this head out of the packed [T, 3D] matrix.
+    TensorF q(Shape{T, head_dim_});
+    TensorF k(Shape{T, head_dim_});
+    TensorF v(Shape{T, head_dim_});
+    for (std::int64_t t = 0; t < T; ++t) {
+      for (std::int64_t d = 0; d < head_dim_; ++d) {
+        q(t, d) = qkv(t, h * head_dim_ + d);
+        k(t, d) = qkv(t, dim_ + h * head_dim_ + d);
+        v(t, d) = qkv(t, 2 * dim_ + h * head_dim_ + d);
+      }
+    }
+    TensorF scores = matmul_nt(q, k);  // [T, T]
+    for (float& s : scores.data()) {
+      s = static_cast<float>(s * inv_sqrt_d);
+    }
+    const TensorF probs = softmax_rows(scores);
+    const TensorF head_ctx = matmul(probs, v);  // [T, head_dim]
+    for (std::int64_t t = 0; t < T; ++t) {
+      for (std::int64_t d = 0; d < head_dim_; ++d) {
+        context(t, h * head_dim_ + d) = head_ctx(t, d);
+      }
+    }
+  }
+  return proj_.forward(context, engine);
+}
+
+}  // namespace drift::nn

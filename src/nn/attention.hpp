@@ -1,0 +1,33 @@
+// Multi-head self-attention for the transformer proxies.
+//
+// The QKV and output projections are quantized GEMMs routed through the
+// QuantEngine (they dominate the layer's MACs and are where dynamic
+// precision applies).  The score/context products run in float: on the
+// real accelerator they execute after the precision-annotated operands
+// have been dequantized into psums, and their shapes are still counted
+// by the model zoo's workload extraction.
+#pragma once
+
+#include "nn/linear.hpp"
+
+namespace drift::nn {
+
+class MultiHeadAttention : public Layer {
+ public:
+  MultiHeadAttention(std::string name, std::int64_t dim, std::int64_t heads,
+                     Rng& rng);
+
+  TensorF forward(const TensorF& input, QuantEngine& engine) override;
+  const std::string& name() const override { return name_; }
+
+  std::int64_t dim() const { return dim_; }
+  std::int64_t heads() const { return heads_; }
+
+ private:
+  std::string name_;
+  std::int64_t dim_, heads_, head_dim_;
+  Linear qkv_;
+  Linear proj_;
+};
+
+}  // namespace drift::nn

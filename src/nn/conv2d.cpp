@@ -1,0 +1,104 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+
+#include "nn/gemm.hpp"
+#include "util/assert.hpp"
+
+namespace drift::nn {
+
+TensorF im2col(const TensorF& input, std::int64_t kh, std::int64_t kw,
+               std::int64_t stride, std::int64_t pad) {
+  DRIFT_CHECK(input.shape().rank() == 3, "im2col expects [C, H, W]");
+  DRIFT_CHECK(kh > 0 && kw > 0 && stride > 0 && pad >= 0,
+              "invalid conv geometry");
+  const std::int64_t C = input.shape().dim(0);
+  const std::int64_t H = input.shape().dim(1);
+  const std::int64_t W = input.shape().dim(2);
+  const std::int64_t OH = (H + 2 * pad - kh) / stride + 1;
+  const std::int64_t OW = (W + 2 * pad - kw) / stride + 1;
+  DRIFT_CHECK(OH > 0 && OW > 0, "kernel larger than padded input");
+
+  TensorF out(Shape{OH * OW, C * kh * kw}, 0.0f);
+  auto src = input.data();
+  auto dst = out.data();
+  const std::int64_t row_width = C * kh * kw;
+  for (std::int64_t oh = 0; oh < OH; ++oh) {
+    for (std::int64_t ow = 0; ow < OW; ++ow) {
+      const std::int64_t row = oh * OW + ow;
+      for (std::int64_t c = 0; c < C; ++c) {
+        for (std::int64_t dh = 0; dh < kh; ++dh) {
+          const std::int64_t h = oh * stride - pad + dh;
+          if (h < 0 || h >= H) continue;
+          for (std::int64_t dw = 0; dw < kw; ++dw) {
+            const std::int64_t w = ow * stride - pad + dw;
+            if (w < 0 || w >= W) continue;
+            dst[static_cast<std::size_t>(row * row_width +
+                                         (c * kh + dh) * kw + dw)] =
+                src[static_cast<std::size_t>((c * H + h) * W + w)];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Conv2d::Conv2d(std::string name, std::int64_t in_channels,
+               std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad, Rng& rng)
+    : name_(std::move(name)), in_channels_(in_channels),
+      out_channels_(out_channels), kernel_(kernel), stride_(stride),
+      pad_(pad),
+      weight_(Shape{out_channels, in_channels * kernel * kernel}),
+      bias_(Shape{out_channels}, 0.0f) {
+  DRIFT_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0,
+              "invalid conv shape");
+  const std::int64_t fan_in = in_channels * kernel * kernel;
+  const double base =
+      std::sqrt(2.0 / static_cast<double>(fan_in)) / std::sqrt(2.0);
+  auto wd = weight_.data();
+  for (std::int64_t o = 0; o < out_channels; ++o) {
+    const double channel_scale = base * std::exp(rng.normal(0.0, 0.4));
+    for (std::int64_t i = 0; i < fan_in; ++i) {
+      wd[static_cast<std::size_t>(o * fan_in + i)] =
+          static_cast<float>(rng.laplace(channel_scale));
+    }
+  }
+}
+
+std::int64_t Conv2d::out_size(std::int64_t in_size) const {
+  return (in_size + 2 * pad_ - kernel_) / stride_ + 1;
+}
+
+TensorF Conv2d::forward(const TensorF& input, QuantEngine& engine) {
+  DRIFT_CHECK(input.shape().rank() == 3, "Conv2d expects [C, H, W]");
+  DRIFT_CHECK(input.shape().dim(0) == in_channels_,
+              "Conv2d channel mismatch");
+  const OperandResult act = engine.process_activation_regions(input);
+  const OperandResult wgt = engine.process_weight(weight_);
+
+  const TensorF lowered = im2col(act.effective, kernel_, kernel_, stride_,
+                                 pad_);
+  TensorF out2d = matmul_nt(lowered, wgt.effective);
+  add_bias(out2d, bias_);
+
+  const std::int64_t OH = out_size(input.shape().dim(1));
+  const std::int64_t OW = out_size(input.shape().dim(2));
+  engine.record(name_, OH * OW, in_channels_ * kernel_ * kernel_,
+                out_channels_, act.low_fraction, wgt.low_fraction_rows);
+
+  // [OH*OW, OC] -> [OC, OH, OW]
+  TensorF out(Shape{out_channels_, OH, OW});
+  auto src = out2d.data();
+  auto dst = out.data();
+  for (std::int64_t p = 0; p < OH * OW; ++p) {
+    for (std::int64_t c = 0; c < out_channels_; ++c) {
+      dst[static_cast<std::size_t>(c * OH * OW + p)] =
+          src[static_cast<std::size_t>(p * out_channels_ + c)];
+    }
+  }
+  return out;
+}
+
+}  // namespace drift::nn

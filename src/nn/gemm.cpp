@@ -1,0 +1,79 @@
+#include "nn/gemm.hpp"
+
+#include "util/assert.hpp"
+
+namespace drift::nn {
+
+TensorF matmul(const TensorF& a, const TensorF& b) {
+  DRIFT_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+              "matmul needs rank-2 operands");
+  const std::int64_t M = a.shape().dim(0);
+  const std::int64_t K = a.shape().dim(1);
+  DRIFT_CHECK(b.shape().dim(0) == K, "inner dimension mismatch");
+  const std::int64_t N = b.shape().dim(1);
+
+  TensorF c(Shape{M, N}, 0.0f);
+  auto ad = a.data();
+  auto bd = b.data();
+  auto cd = c.data();
+  // i-k-j loop order streams B and C rows contiguously.
+  for (std::int64_t i = 0; i < M; ++i) {
+    for (std::int64_t k = 0; k < K; ++k) {
+      const float aik = ad[static_cast<std::size_t>(i * K + k)];
+      if (aik == 0.0f) continue;
+      const std::size_t boff = static_cast<std::size_t>(k * N);
+      const std::size_t coff = static_cast<std::size_t>(i * N);
+      for (std::int64_t j = 0; j < N; ++j) {
+        cd[coff + static_cast<std::size_t>(j)] +=
+            aik * bd[boff + static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return c;
+}
+
+TensorF matmul_nt(const TensorF& a, const TensorF& w) {
+  DRIFT_CHECK(a.shape().rank() == 2 && w.shape().rank() == 2,
+              "matmul_nt needs rank-2 operands");
+  const std::int64_t M = a.shape().dim(0);
+  const std::int64_t K = a.shape().dim(1);
+  DRIFT_CHECK(w.shape().dim(1) == K, "inner dimension mismatch");
+  const std::int64_t N = w.shape().dim(0);
+
+  TensorF c(Shape{M, N});
+  auto ad = a.data();
+  auto wd = w.data();
+  auto cd = c.data();
+  for (std::int64_t i = 0; i < M; ++i) {
+    const std::size_t aoff = static_cast<std::size_t>(i * K);
+    for (std::int64_t j = 0; j < N; ++j) {
+      const std::size_t woff = static_cast<std::size_t>(j * K);
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < K; ++k) {
+        acc += static_cast<double>(ad[aoff + static_cast<std::size_t>(k)]) *
+               static_cast<double>(wd[woff + static_cast<std::size_t>(k)]);
+      }
+      cd[static_cast<std::size_t>(i * N + j)] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void add_bias(TensorF& c, const TensorF& bias) {
+  DRIFT_CHECK(c.shape().rank() == 2, "add_bias needs a rank-2 tensor");
+  DRIFT_CHECK(bias.shape().rank() == 1 &&
+                  bias.shape().dim(0) == c.shape().dim(1),
+              "bias width mismatch");
+  const std::int64_t M = c.shape().dim(0);
+  const std::int64_t N = c.shape().dim(1);
+  auto cd = c.data();
+  auto bd = bias.data();
+  for (std::int64_t i = 0; i < M; ++i) {
+    for (std::int64_t j = 0; j < N; ++j) {
+      cd[static_cast<std::size_t>(i * N + j)] +=
+          bd[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+}  // namespace drift::nn

@@ -1,0 +1,21 @@
+// Dense float GEMM used by the functional (accuracy) simulation path.
+//
+// The hardware benches never execute this — they consume GEMM *shapes*
+// through the analytical/cycle models — so a simple cache-blocked
+// implementation is all the accuracy proxies need.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace drift::nn {
+
+/// C[M,N] = A[M,K] * B[K,N].
+TensorF matmul(const TensorF& a, const TensorF& b);
+
+/// C[M,N] = A[M,K] * W[N,K]^T (output-major weights, PyTorch layout).
+TensorF matmul_nt(const TensorF& a, const TensorF& w);
+
+/// C += bias (bias broadcast over rows).  C is [M,N], bias is [N].
+void add_bias(TensorF& c, const TensorF& bias);
+
+}  // namespace drift::nn

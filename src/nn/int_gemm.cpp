@@ -1,0 +1,102 @@
+#include "nn/int_gemm.hpp"
+
+#include "core/noise_budget.hpp"
+#include "util/assert.hpp"
+
+namespace drift::nn {
+
+double QuantizedOperand::row_scale(std::int64_t r) const {
+  DRIFT_CHECK_INDEX(r, static_cast<std::int64_t>(rows.size()));
+  const auto& d = rows[static_cast<std::size_t>(r)];
+  if (!d.use_low) return params.delta;
+  return params.delta *
+         static_cast<double>(std::int64_t{1} << d.choice.lc);
+}
+
+int QuantizedOperand::row_bits(std::int64_t r) const {
+  DRIFT_CHECK_INDEX(r, static_cast<std::int64_t>(rows.size()));
+  return rows[static_cast<std::size_t>(r)].use_low ? lp.bits()
+                                                   : params.bits.bits();
+}
+
+QuantizedOperand quantize_rows(const TensorF& x,
+                               const core::SelectorConfig& config,
+                               double noise_budget) {
+  DRIFT_CHECK(x.shape().rank() == 2, "quantize_rows expects [rows, cols]");
+  const std::int64_t rows = x.shape().dim(0);
+  const std::int64_t cols = x.shape().dim(1);
+
+  QuantizedOperand op;
+  op.params = core::compute_quant_params(x.data(), config.hp);
+  op.lp = config.lp;
+  op.codes = TensorI32(x.shape());
+
+  const auto views = partition_rows(x.shape());
+  const auto stats = core::compute_stats(views, x.data());
+  const std::vector<std::int64_t> sizes(views.size(), cols);
+  auto selection = core::select_auto_threshold(stats, sizes, op.params,
+                                               config, noise_budget);
+  op.rows = std::move(selection.decisions);
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const auto& d = op.rows[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::int32_t q = core::quantize_value(x(r, c), op.params);
+      op.codes(r, c) =
+          d.use_low ? core::convert_to_low(q, config.lp, d.choice) : q;
+    }
+  }
+  return op;
+}
+
+TensorF dequantize_operand(const QuantizedOperand& op) {
+  const std::int64_t rows = op.codes.shape().dim(0);
+  const std::int64_t cols = op.codes.shape().dim(1);
+  TensorF out(op.codes.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const double scale = op.row_scale(r);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out(r, c) = static_cast<float>(op.codes(r, c) * scale);
+    }
+  }
+  return out;
+}
+
+TensorF int_gemm_nt(const QuantizedOperand& act,
+                    const QuantizedOperand& wgt) {
+  const std::int64_t M = act.codes.shape().dim(0);
+  const std::int64_t K = act.codes.shape().dim(1);
+  DRIFT_CHECK(wgt.codes.shape().dim(1) == K, "inner dimension mismatch");
+  const std::int64_t N = wgt.codes.shape().dim(0);
+
+  TensorF out(Shape{M, N});
+  for (std::int64_t i = 0; i < M; ++i) {
+    const double act_scale = act.row_scale(i);
+    for (std::int64_t j = 0; j < N; ++j) {
+      // Pure integer multiply-accumulate, as the BitBrick array does.
+      std::int64_t acc = 0;
+      for (std::int64_t k = 0; k < K; ++k) {
+        acc += static_cast<std::int64_t>(act.codes(i, k)) *
+               static_cast<std::int64_t>(wgt.codes(j, k));
+      }
+      // One rescale per output (the psum exit multiplier).
+      out(i, j) = static_cast<float>(static_cast<double>(acc) * act_scale *
+                                     wgt.row_scale(j));
+    }
+  }
+  return out;
+}
+
+double ll_fraction(const QuantizedOperand& act,
+                   const QuantizedOperand& wgt) {
+  std::int64_t act_low = 0, wgt_low = 0;
+  for (const auto& d : act.rows) act_low += d.use_low ? 1 : 0;
+  for (const auto& d : wgt.rows) wgt_low += d.use_low ? 1 : 0;
+  const double m = static_cast<double>(act.rows.size());
+  const double n = static_cast<double>(wgt.rows.size());
+  if (m == 0.0 || n == 0.0) return 0.0;
+  return (static_cast<double>(act_low) / m) *
+         (static_cast<double>(wgt_low) / n);
+}
+
+}  // namespace drift::nn

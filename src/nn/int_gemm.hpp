@@ -1,0 +1,61 @@
+// Integer-domain quantized GEMM.
+//
+// The accuracy experiments simulate quantized execution in float by
+// rendering each operand to its "effective" dequantized values.  That
+// is only legitimate if the float pipeline computes exactly what the
+// integer hardware would.  This module implements the hardware view —
+// per-sub-tensor integer codes at their selected precision, integer
+// multiply-accumulate, and per-(row, column) output rescaling by
+//
+//    scale(i, j) = (2^lc_act_i * Δ_act) * (2^lc_wgt_j * Δ_wgt)
+//
+// — so tests can assert bit-level agreement between the two paths
+// (tests/test_int_gemm.cpp).  It is also what a software emulator of
+// the Drift PE array would run.
+#pragma once
+
+#include <vector>
+
+#include "core/precision.hpp"
+#include "core/quantizer.hpp"
+#include "core/selector.hpp"
+#include "tensor/tensor.hpp"
+
+namespace drift::nn {
+
+/// One operand in the integer domain: row-granular sub-tensors, each
+/// holding either hp codes or lc-shifted lp codes.
+struct QuantizedOperand {
+  TensorI32 codes;                 ///< [rows, cols] integer codes
+  core::QuantParams params;        ///< Eq. 1 calibration (Δ, hp)
+  core::Precision lp = core::kInt4;
+  std::vector<core::PrecisionDecision> rows;  ///< one per row
+
+  /// The dequantization step of row r (Δ or 2^lc Δ).
+  double row_scale(std::int64_t r) const;
+
+  /// Number of live magnitude bits of row r (hp or lp).
+  int row_bits(std::int64_t r) const;
+};
+
+/// Quantizes a [rows, cols] float matrix at row granularity with the
+/// automatic threshold selection (budget as in core/noise_budget.hpp).
+QuantizedOperand quantize_rows(const TensorF& x,
+                               const core::SelectorConfig& config,
+                               double noise_budget);
+
+/// Dequantizes back to float (the "effective rendering" the float
+/// simulation path uses) — exact by construction.
+TensorF dequantize_operand(const QuantizedOperand& op);
+
+/// Integer GEMM: act [M, K] times wgt [N, K]^T with int64 accumulation
+/// and per-(row, col) rescale.  This is what the BitGroup array
+/// physically computes.
+TensorF int_gemm_nt(const QuantizedOperand& act,
+                    const QuantizedOperand& wgt);
+
+/// MAC-weighted fraction of the GEMM executed with both operands low
+/// precision (the ll class).
+double ll_fraction(const QuantizedOperand& act, const QuantizedOperand& wgt);
+
+}  // namespace drift::nn

@@ -1,0 +1,32 @@
+// Layer interface for the functional simulation stack.
+//
+// Layers transform a single sample (no batch dimension): transformer
+// layers see [T, D] token matrices, CNN layers see [C, H, W] feature
+// maps.  Every GEMM-bearing layer routes its operands through the
+// QuantEngine so one model definition serves all four execution modes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/quant_engine.hpp"
+#include "tensor/tensor.hpp"
+
+namespace drift::nn {
+
+/// Abstract layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass.  `engine` decides how operands are quantized and
+  /// collects per-GEMM records.
+  virtual TensorF forward(const TensorF& input, QuantEngine& engine) = 0;
+
+  /// Human-readable layer name (unique within a model).
+  virtual const std::string& name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace drift::nn

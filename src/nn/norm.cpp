@@ -1,0 +1,71 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace drift::nn {
+
+LayerNorm::LayerNorm(std::string name, std::int64_t width)
+    : name_(std::move(name)), gamma_(Shape{width}, 1.0f),
+      beta_(Shape{width}, 0.0f) {
+  DRIFT_CHECK(width > 0, "invalid LayerNorm width");
+}
+
+TensorF LayerNorm::forward(const TensorF& input, QuantEngine&) {
+  DRIFT_CHECK(input.shape().rank() == 2, "LayerNorm expects [M, N]");
+  DRIFT_CHECK(input.shape().dim(1) == width(), "LayerNorm width mismatch");
+  const std::int64_t M = input.shape().dim(0);
+  const std::int64_t N = input.shape().dim(1);
+  TensorF out(input.shape());
+  auto gd = gamma_.data();
+  auto bd = beta_.data();
+  for (std::int64_t i = 0; i < M; ++i) {
+    auto row_in = input.row(i);
+    auto row_out = out.row(i);
+    double mean = 0.0;
+    for (float v : row_in) mean += v;
+    mean /= static_cast<double>(N);
+    double var = 0.0;
+    for (float v : row_in) {
+      const double d = v - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(N);
+    const double inv = 1.0 / std::sqrt(var + kEps);
+    for (std::int64_t j = 0; j < N; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      row_out[js] = static_cast<float>(
+          (row_in[js] - mean) * inv * gd[js] + bd[js]);
+    }
+  }
+  return out;
+}
+
+BatchNorm2d::BatchNorm2d(std::string name, std::int64_t channels)
+    : name_(std::move(name)), scale_(Shape{channels}, 1.0f),
+      shift_(Shape{channels}, 0.0f) {
+  DRIFT_CHECK(channels > 0, "invalid BatchNorm width");
+}
+
+TensorF BatchNorm2d::forward(const TensorF& input, QuantEngine&) {
+  DRIFT_CHECK(input.shape().rank() == 3, "BatchNorm2d expects [C, H, W]");
+  DRIFT_CHECK(input.shape().dim(0) == scale_.shape().dim(0),
+              "BatchNorm channel mismatch");
+  const std::int64_t C = input.shape().dim(0);
+  const std::int64_t HW = input.shape().dim(1) * input.shape().dim(2);
+  TensorF out = input;
+  auto od = out.data();
+  auto sd = scale_.data();
+  auto hd = shift_.data();
+  for (std::int64_t c = 0; c < C; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    for (std::int64_t p = 0; p < HW; ++p) {
+      auto& v = od[static_cast<std::size_t>(c * HW + p)];
+      v = v * sd[cs] + hd[cs];
+    }
+  }
+  return out;
+}
+
+}  // namespace drift::nn

@@ -1,0 +1,41 @@
+// Normalization layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace drift::nn {
+
+/// LayerNorm over the last axis of a [M, N] tensor, learned affine.
+class LayerNorm : public Layer {
+ public:
+  LayerNorm(std::string name, std::int64_t width);
+
+  TensorF forward(const TensorF& input, QuantEngine& engine) override;
+  const std::string& name() const override { return name_; }
+
+  std::int64_t width() const { return gamma_.shape().dim(0); }
+
+ private:
+  std::string name_;
+  TensorF gamma_;  ///< [N]
+  TensorF beta_;   ///< [N]
+  static constexpr float kEps = 1e-5f;
+};
+
+/// Inference-mode BatchNorm over channels of a [C, H, W] tensor, with
+/// fixed statistics (identity-initialized; proxies fold scale into
+/// convs, but the layer exists so CNN topologies match the real nets).
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(std::string name, std::int64_t channels);
+
+  TensorF forward(const TensorF& input, QuantEngine& engine) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  std::string name_;
+  TensorF scale_;  ///< [C] — gamma / sqrt(var + eps)
+  TensorF shift_;  ///< [C] — beta - mean * scale
+};
+
+}  // namespace drift::nn

@@ -1,0 +1,61 @@
+// Per-layer precision mixes for the hardware benches.
+//
+// The performance/energy experiments run full-size models (up to
+// OPT-6.7B), which cannot be materialized element-by-element on a
+// laptop.  What the hardware models actually need per GEMM is:
+//   (a) the class split — how many activation rows / weight channels
+//       run at each precision (feeds the Drift scheduler), and
+//   (b) the *in-order row pattern* of low/high activation rows (feeds
+//       the DRQ stall model: scattered high rows stall its wavefront).
+// Both are produced by running the real selection algorithms (Drift's
+// Eq. 5/6, DRQ's region criterion) on per-sub-tensor statistics sampled
+// from the model's distribution profile (nn/synthetic.hpp), exactly the
+// statistics the hardware pooling unit would compute.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/drq_quantizer.hpp"
+#include "core/layer_work.hpp"
+#include "core/selector.hpp"
+#include "nn/workload.hpp"
+#include "util/rng.hpp"
+
+namespace drift::nn {
+
+/// Which algorithm generates the mix.
+enum class MixAlgorithm { kStaticInt8, kDrq, kDrift };
+
+std::string to_string(MixAlgorithm algo);
+
+/// Mix generation parameters.
+struct MixConfig {
+  MixAlgorithm algo = MixAlgorithm::kDrift;
+  core::SelectorConfig drift{};  ///< Drift selector (hp/lp; δ when fixed)
+  core::DrqConfig drq{};
+  bool dynamic_weights = true;   ///< Drift only; DRQ/INT8 weights stay 8-bit
+  /// Drift: choose each operand's δ automatically under an excess-noise
+  /// budget (core/noise_budget.hpp) instead of a fixed δ.
+  bool auto_threshold = true;
+  double noise_budget = 0.05;
+  std::uint64_t seed = 1;
+};
+
+/// One GEMM's resolved precision structure.
+struct LayerMix {
+  LayerGemm layer;
+  core::LayerWork work;            ///< class split for the scheduler
+  std::vector<bool> row_is_low;    ///< in-order activation row pattern
+  double act_low_fraction = 0.0;   ///< m_low / M
+  double weight_low_fraction = 0.0;
+};
+
+/// Builds the mix of every layer in a workload.
+std::vector<LayerMix> build_mixes(const WorkloadSpec& spec,
+                                  const MixConfig& config);
+
+/// MAC-weighted mean activation low fraction across a mix set.
+double overall_act_low_fraction(const std::vector<LayerMix>& mixes);
+
+}  // namespace drift::nn

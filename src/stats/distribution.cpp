@@ -1,0 +1,58 @@
+#include "stats/distribution.hpp"
+
+#include "util/assert.hpp"
+
+namespace drift::stats {
+
+Laplace::Laplace(double b) : b_(b) {
+  DRIFT_CHECK(b > 0.0, "Laplace scale must be positive");
+}
+
+double Laplace::pdf(double x) const {
+  return std::exp(-std::abs(x) / b_) / (2.0 * b_);
+}
+
+double Laplace::cdf(double x) const {
+  if (x < 0.0) return 0.5 * std::exp(x / b_);
+  return 1.0 - 0.5 * std::exp(-x / b_);
+}
+
+double Laplace::quantile(double p) const {
+  DRIFT_CHECK(p > 0.0 && p < 1.0, "quantile needs p in (0,1)");
+  if (p < 0.5) return b_ * std::log(2.0 * p);
+  return -b_ * std::log(2.0 * (1.0 - p));
+}
+
+Exponential::Exponential(double lambda) : lambda_(lambda) {
+  DRIFT_CHECK(lambda > 0.0, "Exponential rate must be positive");
+}
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : lambda_ * std::exp(-lambda_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  return x < 0.0 ? 0.0 : 1.0 - std::exp(-lambda_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  DRIFT_CHECK(p >= 0.0 && p < 1.0, "quantile needs p in [0,1)");
+  return -std::log(1.0 - p) / lambda_;
+}
+
+Normal::Normal(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+  DRIFT_CHECK(stddev > 0.0, "Normal stddev must be positive");
+}
+
+double Normal::pdf(double x) const {
+  const double z = (x - mean_) / stddev_;
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi / stddev_ * std::exp(-0.5 * z * z);
+}
+
+double Normal::cdf(double x) const {
+  const double z = (x - mean_) / stddev_;
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+}  // namespace drift::stats

@@ -1,0 +1,81 @@
+#include "systolic/stall_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace drift::systolic {
+
+std::int64_t pipeline_exit_cycles(std::span<const std::int64_t> row_costs,
+                                  std::int64_t stages) {
+  DRIFT_CHECK(stages > 0, "pipeline needs at least one stage");
+  if (row_costs.empty()) return 0;
+  for (std::int64_t k : row_costs) DRIFT_CHECK(k > 0, "row cost must be > 0");
+
+  // depart[s]: departure time of the previous row from stage s.
+  std::vector<std::int64_t> depart(static_cast<std::size_t>(stages), 0);
+  for (std::int64_t k : row_costs) {
+    std::int64_t prev_stage = 0;
+    for (std::int64_t s = 0; s < stages; ++s) {
+      const auto ss = static_cast<std::size_t>(s);
+      const std::int64_t start = std::max(prev_stage, depart[ss]);
+      depart[ss] = start + k;
+      prev_stage = depart[ss];
+    }
+  }
+  return depart[static_cast<std::size_t>(stages - 1)];
+}
+
+std::int64_t pipeline_stall_cycles(std::span<const std::int64_t> row_costs,
+                                   std::int64_t stages) {
+  if (row_costs.empty()) return 0;
+  std::int64_t sum = 0, last = 0;
+  for (std::int64_t k : row_costs) sum += k;
+  last = row_costs[row_costs.size() - 1];
+  // No-interference bound: all rows inject back-to-back (sum of costs
+  // at stage 0) and the last row then drains the remaining stages at
+  // its own pace.
+  const std::int64_t bound = sum + (stages - 1) * last;
+  return pipeline_exit_cycles(row_costs, stages) - bound;
+}
+
+std::vector<std::int64_t> costs_from_pattern(const std::vector<bool>& is_low,
+                                             std::int64_t low_cost,
+                                             std::int64_t high_cost) {
+  DRIFT_CHECK(low_cost > 0 && high_cost > 0, "costs must be positive");
+  std::vector<std::int64_t> costs(is_low.size());
+  for (std::size_t i = 0; i < is_low.size(); ++i) {
+    costs[i] = is_low[i] ? low_cost : high_cost;
+  }
+  return costs;
+}
+
+RunModelResult run_switching_exe_cycles(const std::vector<bool>& is_low,
+                                        std::int64_t low_cost,
+                                        std::int64_t high_cost,
+                                        std::int64_t switch_penalty) {
+  DRIFT_CHECK(low_cost > 0 && high_cost > 0, "costs must be positive");
+  DRIFT_CHECK(switch_penalty >= 0, "negative switch penalty");
+  RunModelResult r;
+  if (is_low.empty()) return r;
+
+  std::int64_t weighted = 0;
+  std::int64_t rows = static_cast<std::int64_t>(is_low.size());
+  for (std::size_t i = 0; i < is_low.size(); ++i) {
+    weighted += is_low[i] ? low_cost : high_cost;
+    if (i > 0 && is_low[i] != is_low[i - 1]) ++r.switches;
+  }
+  r.mixed_cycles = weighted + r.switches * switch_penalty;
+
+  const std::int64_t all_high = rows * high_cost;
+  if (r.mixed_cycles <= all_high) {
+    r.exe_cycles = r.mixed_cycles;
+  } else {
+    r.exe_cycles = all_high;
+    r.fell_back_to_high = true;
+  }
+  r.stall_cycles = r.exe_cycles - weighted;
+  return r;
+}
+
+}  // namespace drift::systolic

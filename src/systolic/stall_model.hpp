@@ -1,0 +1,64 @@
+// Closed-form (tandem-queue) stall model for mixed-precision rows on a
+// single systolic dataflow.
+//
+// The activation stream of a weight-stationary array is a pipeline of
+// `stages` processing elements with FIFO ordering and no overtaking.
+// A row whose precision needs k passes occupies every stage for k
+// cycles.  Departures follow the standard tandem-queue recursion
+//
+//   depart[m][s] = max(depart[m][s-1], depart[m-1][s]) + k_m
+//
+// so a slow (high-precision) row throttles every faster row behind it
+// until it drains — precisely the data-flow stall of Section 2.3.
+// Uniform unit-cost streams reduce to M + stages - 1 cycles, matching
+// the M + R + C - 2 execution term of Equation 7 (stages = R + C - 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drift::systolic {
+
+/// Exit time of the last row of a `stages`-deep pipeline fed with rows
+/// of the given per-stage costs (cycles).  Row m enters as soon as
+/// stage 0 frees up.  Returns the cycle at which the last row leaves
+/// the last stage.
+std::int64_t pipeline_exit_cycles(std::span<const std::int64_t> row_costs,
+                                  std::int64_t stages);
+
+/// Convenience: stall cycles relative to the no-interference bound
+/// (sum of costs + pipeline fill).
+std::int64_t pipeline_stall_cycles(std::span<const std::int64_t> row_costs,
+                                   std::int64_t stages);
+
+/// Builds the per-row cost vector from a low/high pattern: low rows
+/// cost `low_cost`, high rows `high_cost`.
+std::vector<std::int64_t> costs_from_pattern(const std::vector<bool>& is_low,
+                                             std::int64_t low_cost,
+                                             std::int64_t high_cost);
+
+/// Run-switching model of a *variable-speed* systolic array (the DRQ
+/// design): the whole array runs in one precision mode at a time, so
+/// the row stream is processed as maximal same-precision runs, and a
+/// mode switch requires draining the pipeline (`switch_penalty`
+/// cycles, typically R + C - 2).  When the precision pattern is finely
+/// interleaved the switch cost explodes, so a real controller falls
+/// back to executing the whole stream in high-precision mode; the
+/// model applies that per-stream min().  This is the mechanism behind
+/// DRQ's near-zero gain on ViT-B (Section 5.3).
+struct RunModelResult {
+  std::int64_t exe_cycles = 0;     ///< chosen (post-fallback) cost
+  std::int64_t mixed_cycles = 0;   ///< cost of the mixed schedule
+  std::int64_t switches = 0;       ///< precision-mode transitions
+  std::int64_t stall_cycles = 0;   ///< chosen cost minus the no-stall
+                                   ///< weighted bound
+  bool fell_back_to_high = false;  ///< uniform-high was cheaper
+};
+
+RunModelResult run_switching_exe_cycles(const std::vector<bool>& is_low,
+                                        std::int64_t low_cost,
+                                        std::int64_t high_cost,
+                                        std::int64_t switch_penalty);
+
+}  // namespace drift::systolic

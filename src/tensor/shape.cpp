@@ -1,0 +1,61 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace drift {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (auto d : dims_) DRIFT_CHECK(d >= 0, "negative dimension");
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_) DRIFT_CHECK(d >= 0, "negative dimension");
+}
+
+std::int64_t Shape::dim(std::int64_t axis) const {
+  DRIFT_CHECK_INDEX(axis, rank());
+  return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return n;
+}
+
+std::vector<std::int64_t> Shape::strides() const {
+  std::vector<std::int64_t> s(dims_.size());
+  std::int64_t acc = 1;
+  for (std::int64_t i = rank() - 1; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = acc;
+    acc *= dims_[static_cast<std::size_t>(i)];
+  }
+  return s;
+}
+
+std::int64_t Shape::offset(const std::vector<std::int64_t>& index) const {
+  DRIFT_CHECK(static_cast<std::int64_t>(index.size()) == rank(),
+              "index rank mismatch");
+  const auto s = strides();
+  std::int64_t off = 0;
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    DRIFT_CHECK(index[i] >= 0 && index[i] < dims_[i], "index out of bounds");
+    off += index[i] * s[i];
+  }
+  return off;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace drift

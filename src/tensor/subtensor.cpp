@@ -1,0 +1,61 @@
+#include "tensor/subtensor.hpp"
+
+#include "util/assert.hpp"
+
+namespace drift {
+
+SubTensorView::SubTensorView(std::vector<Run> runs) : runs_(std::move(runs)) {
+  for (const Run& r : runs_) {
+    DRIFT_CHECK(r.offset >= 0 && r.length > 0, "invalid run");
+    size_ += r.length;
+  }
+}
+
+std::vector<SubTensorView> partition_rows(const Shape& shape) {
+  DRIFT_CHECK(shape.rank() == 2, "partition_rows requires a rank-2 shape");
+  const std::int64_t rows = shape.dim(0);
+  const std::int64_t cols = shape.dim(1);
+  DRIFT_CHECK(cols > 0, "empty rows");
+  std::vector<SubTensorView> views;
+  views.reserve(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    views.emplace_back(std::vector<Run>{{r * cols, cols}});
+  }
+  return views;
+}
+
+std::vector<SubTensorView> partition_regions(const Shape& shape,
+                                             std::int64_t region) {
+  DRIFT_CHECK(shape.rank() == 3, "partition_regions requires [C,H,W]");
+  DRIFT_CHECK(region > 0, "region size must be positive");
+  const std::int64_t C = shape.dim(0), H = shape.dim(1), W = shape.dim(2);
+  std::vector<SubTensorView> views;
+  for (std::int64_t h0 = 0; h0 < H; h0 += region) {
+    const std::int64_t h1 = std::min(h0 + region, H);
+    for (std::int64_t w0 = 0; w0 < W; w0 += region) {
+      const std::int64_t w1 = std::min(w0 + region, W);
+      std::vector<Run> runs;
+      runs.reserve(static_cast<std::size_t>(C * (h1 - h0)));
+      for (std::int64_t c = 0; c < C; ++c) {
+        for (std::int64_t h = h0; h < h1; ++h) {
+          runs.push_back({(c * H + h) * W + w0, w1 - w0});
+        }
+      }
+      views.emplace_back(std::move(runs));
+    }
+  }
+  return views;
+}
+
+std::vector<SubTensorView> partition_blocks(std::int64_t numel,
+                                            std::int64_t block) {
+  DRIFT_CHECK(numel > 0 && block > 0, "invalid block partition");
+  std::vector<SubTensorView> views;
+  for (std::int64_t off = 0; off < numel; off += block) {
+    views.emplace_back(
+        std::vector<Run>{{off, std::min(block, numel - off)}});
+  }
+  return views;
+}
+
+}  // namespace drift

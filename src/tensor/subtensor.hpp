@@ -1,0 +1,109 @@
+// Sub-tensor views and partitioning.
+//
+// The unit of dynamic precision selection in the paper is the
+// *sub-tensor*: a token row (BERT/GPT), a patch row (ViT/DeiT), an
+// output-channel row of a weight matrix, or a spatial region of a CNN
+// feature map (the DRQ granularity).  A SubTensorView describes one
+// sub-tensor as a list of contiguous runs over a flat buffer, so a
+// single representation covers all granularities.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace drift {
+
+/// One contiguous run of elements inside a flat tensor buffer.
+struct Run {
+  std::int64_t offset = 0;
+  std::int64_t length = 0;
+};
+
+/// A sub-tensor: an ordered list of runs.  Views do not own data; they
+/// are applied to any buffer with the same layout.
+class SubTensorView {
+ public:
+  SubTensorView() = default;
+  explicit SubTensorView(std::vector<Run> runs);
+
+  const std::vector<Run>& runs() const { return runs_; }
+  std::int64_t size() const { return size_; }
+
+  /// Copies the sub-tensor's elements (in run order) into `out`, which
+  /// must have exactly size() elements.
+  template <typename T>
+  void gather(std::span<const T> buffer, std::span<T> out) const {
+    DRIFT_CHECK(static_cast<std::int64_t>(out.size()) == size_,
+                "gather output size mismatch");
+    std::size_t pos = 0;
+    for (const Run& r : runs_) {
+      for (std::int64_t i = 0; i < r.length; ++i) {
+        out[pos++] = buffer[static_cast<std::size_t>(r.offset + i)];
+      }
+    }
+  }
+
+  /// Writes `values` (in run order) back into `buffer`.
+  template <typename T>
+  void scatter(std::span<const T> values, std::span<T> buffer) const {
+    DRIFT_CHECK(static_cast<std::int64_t>(values.size()) == size_,
+                "scatter input size mismatch");
+    std::size_t pos = 0;
+    for (const Run& r : runs_) {
+      for (std::int64_t i = 0; i < r.length; ++i) {
+        buffer[static_cast<std::size_t>(r.offset + i)] = values[pos++];
+      }
+    }
+  }
+
+  /// Applies `fn(element)` to every element of the view in `buffer`.
+  template <typename T, typename Fn>
+  void for_each(std::span<const T> buffer, Fn&& fn) const {
+    for (const Run& r : runs_) {
+      for (std::int64_t i = 0; i < r.length; ++i) {
+        fn(buffer[static_cast<std::size_t>(r.offset + i)]);
+      }
+    }
+  }
+
+  /// Applies `fn(element&)` mutably.
+  template <typename T, typename Fn>
+  void transform(std::span<T> buffer, Fn&& fn) const {
+    for (const Run& r : runs_) {
+      for (std::int64_t i = 0; i < r.length; ++i) {
+        fn(buffer[static_cast<std::size_t>(r.offset + i)]);
+      }
+    }
+  }
+
+ private:
+  std::vector<Run> runs_;
+  std::int64_t size_ = 0;
+};
+
+/// Granularity choices for partitioning (Section 2.1 / 5.1).
+enum class Granularity {
+  kRow,     ///< one sub-tensor per row of a [M, K] matrix (token / patch)
+  kRegion,  ///< DRQ-style g×g spatial region across all channels of [C,H,W]
+  kBlock,   ///< flat fixed-size chunks (fallback / ablation)
+};
+
+/// Partitions a rank-2 [rows, cols] tensor into per-row sub-tensors.
+std::vector<SubTensorView> partition_rows(const Shape& shape);
+
+/// Partitions a rank-3 [C, H, W] tensor into spatial regions of size
+/// region×region covering all channels (DRQ granularity).  Edge regions
+/// are smaller when H or W is not a multiple of `region`.
+std::vector<SubTensorView> partition_regions(const Shape& shape,
+                                             std::int64_t region);
+
+/// Partitions a flat buffer of `numel` elements into chunks of
+/// `block` elements (last chunk may be short).
+std::vector<SubTensorView> partition_blocks(std::int64_t numel,
+                                            std::int64_t block);
+
+}  // namespace drift

@@ -1,0 +1,103 @@
+// Owning dense tensor.
+//
+// Deliberately minimal: contiguous row-major storage, element access,
+// spans.  All heavy math lives in src/nn; all quantization logic in
+// src/core operates on spans or SubTensorView gathers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/assert.hpp"
+
+namespace drift {
+
+/// Dense row-major tensor of element type T (float, int32_t, ...).
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel())) {}
+  Tensor(Shape shape, T fill_value)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), fill_value) {}
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    DRIFT_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+                "data size does not match shape");
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+
+  std::span<T> data() { return data_; }
+  std::span<const T> data() const { return data_; }
+
+  T& at(std::int64_t flat) {
+    DRIFT_CHECK_INDEX(flat, numel());
+    return data_[static_cast<std::size_t>(flat)];
+  }
+  const T& at(std::int64_t flat) const {
+    DRIFT_CHECK_INDEX(flat, numel());
+    return data_[static_cast<std::size_t>(flat)];
+  }
+
+  /// 2-D accessor (checked).
+  T& operator()(std::int64_t i, std::int64_t j) {
+    return data_[static_cast<std::size_t>(shape_.offset({i, j}))];
+  }
+  const T& operator()(std::int64_t i, std::int64_t j) const {
+    return data_[static_cast<std::size_t>(shape_.offset({i, j}))];
+  }
+
+  /// 3-D accessor (checked).
+  T& operator()(std::int64_t i, std::int64_t j, std::int64_t k) {
+    return data_[static_cast<std::size_t>(shape_.offset({i, j, k}))];
+  }
+  const T& operator()(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return data_[static_cast<std::size_t>(shape_.offset({i, j, k}))];
+  }
+
+  /// 4-D accessor (checked).
+  T& operator()(std::int64_t a, std::int64_t b, std::int64_t c,
+                std::int64_t d) {
+    return data_[static_cast<std::size_t>(shape_.offset({a, b, c, d}))];
+  }
+  const T& operator()(std::int64_t a, std::int64_t b, std::int64_t c,
+                      std::int64_t d) const {
+    return data_[static_cast<std::size_t>(shape_.offset({a, b, c, d}))];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Contiguous row view for rank-2 tensors.
+  std::span<T> row(std::int64_t r) {
+    DRIFT_CHECK(shape_.rank() == 2, "row() requires a rank-2 tensor");
+    DRIFT_CHECK_INDEX(r, shape_.dim(0));
+    const auto width = static_cast<std::size_t>(shape_.dim(1));
+    return std::span<T>(data_).subspan(static_cast<std::size_t>(r) * width,
+                                       width);
+  }
+  std::span<const T> row(std::int64_t r) const {
+    DRIFT_CHECK(shape_.rank() == 2, "row() requires a rank-2 tensor");
+    DRIFT_CHECK_INDEX(r, shape_.dim(0));
+    const auto width = static_cast<std::size_t>(shape_.dim(1));
+    return std::span<const T>(data_).subspan(
+        static_cast<std::size_t>(r) * width, width);
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorI32 = Tensor<std::int32_t>;
+using TensorI8 = Tensor<std::int8_t>;
+
+}  // namespace drift

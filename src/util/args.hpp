@@ -1,0 +1,45 @@
+// Minimal command-line flag parser for the tools and examples.
+//
+// Supports --flag=value, --flag value, and bare --flag (boolean true).
+// Unknown flags are collected so callers can reject or ignore them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace drift {
+
+/// Parsed command line.
+class Args {
+ public:
+  /// Parses argv (argv[0] skipped).  Positional arguments (tokens not
+  /// starting with "--") are kept in order.
+  static Args parse(int argc, const char* const* argv);
+
+  /// Raw string lookup.
+  std::optional<std::string> get(const std::string& flag) const;
+
+  /// Typed lookups with defaults.
+  std::string get_string(const std::string& flag,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  bool get_bool(const std::string& flag, bool fallback = false) const;
+
+  bool has(const std::string& flag) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never queried — call after all gets
+  /// to warn about typos.
+  std::vector<std::string> unqueried() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace drift

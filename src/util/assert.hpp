@@ -1,0 +1,49 @@
+// Runtime check macros used throughout the Drift codebase.
+//
+// Simulation code is full of index arithmetic and configuration
+// plumbing; silent out-of-range behaviour would corrupt results rather
+// than crash, so checks stay enabled in every build type.  The cost is
+// negligible next to the cycle-level simulation work.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace drift {
+
+/// Error thrown by DRIFT_CHECK failures.  Derives from logic_error so
+/// tests can assert on the exact failure class.
+class check_error : public std::logic_error {
+ public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DRIFT_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace drift
+
+/// Abort (via exception) when `cond` is false.  Usage:
+///   DRIFT_CHECK(rows > 0, "array must be non-empty");
+#define DRIFT_CHECK(cond, ...)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::drift::detail::check_failed(#cond, __FILE__, __LINE__,        \
+                                    ::std::string{"" __VA_ARGS__});   \
+    }                                                                 \
+  } while (false)
+
+/// Range check helper: index `i` must satisfy 0 <= i < n.
+#define DRIFT_CHECK_INDEX(i, n)                                            \
+  DRIFT_CHECK(static_cast<long long>(i) >= 0 &&                            \
+                  static_cast<long long>(i) < static_cast<long long>(n),   \
+              "index out of range")

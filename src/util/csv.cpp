@@ -1,0 +1,39 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace drift {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  DRIFT_CHECK(out_.good(), "failed to open CSV output file");
+  DRIFT_CHECK(width_ > 0, "CSV header must not be empty");
+  row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  DRIFT_CHECK(cells.size() == width_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace drift

@@ -1,0 +1,41 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+namespace drift::log {
+namespace {
+
+std::atomic<Level> g_threshold{Level::kWarn};
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+Message::Message(Level level, const char* tag)
+    : enabled_(level >= threshold() && level != Level::kOff), level_(level) {
+  if (enabled_) stream_ << "[" << level_name(level_) << "] [" << tag << "] ";
+}
+
+Message::~Message() {
+  if (enabled_) {
+    stream_ << '\n';
+    std::cerr << stream_.str();
+  }
+}
+
+}  // namespace drift::log

@@ -1,0 +1,77 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+#include "util/assert.hpp"
+
+namespace drift {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args a = parse({"--model=bert", "--budget=0.05"});
+  EXPECT_EQ(a.get_string("model", ""), "bert");
+  EXPECT_DOUBLE_EQ(a.get_double("budget", 0), 0.05);
+}
+
+TEST(Args, SpaceSyntax) {
+  const Args a = parse({"--rows", "24", "--cols", "33"});
+  EXPECT_EQ(a.get_int("rows", 0), 24);
+  EXPECT_EQ(a.get_int("cols", 0), 33);
+}
+
+TEST(Args, BareFlagIsBooleanTrue) {
+  const Args a = parse({"--layers", "--verbose"});
+  EXPECT_TRUE(a.get_bool("layers"));
+  EXPECT_TRUE(a.get_bool("verbose"));
+  EXPECT_FALSE(a.get_bool("absent"));
+}
+
+TEST(Args, BooleanSpellings) {
+  const Args a = parse({"--a=true", "--b=1", "--c=yes", "--d=no"});
+  EXPECT_TRUE(a.get_bool("a"));
+  EXPECT_TRUE(a.get_bool("b"));
+  EXPECT_TRUE(a.get_bool("c"));
+  EXPECT_FALSE(a.get_bool("d"));
+}
+
+TEST(Args, DefaultsWhenMissing) {
+  const Args a = parse({});
+  EXPECT_EQ(a.get_string("model", "resnet18"), "resnet18");
+  EXPECT_EQ(a.get_int("rows", 24), 24);
+  EXPECT_DOUBLE_EQ(a.get_double("budget", 0.05), 0.05);
+}
+
+TEST(Args, PositionalArgumentsPreserved) {
+  const Args a = parse({"first", "--flag=x", "second"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "first");
+  EXPECT_EQ(a.positional()[1], "second");
+}
+
+TEST(Args, MalformedNumberThrows) {
+  const Args a = parse({"--rows=abc"});
+  EXPECT_THROW(a.get_int("rows", 0), check_error);
+}
+
+TEST(Args, UnqueriedFlagsReported) {
+  const Args a = parse({"--known=1", "--typo=2"});
+  (void)a.get_int("known", 0);
+  const auto stray = a.unqueried();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "typo");
+}
+
+TEST(Args, HasMarksQueried) {
+  const Args a = parse({"--gemm=2x3x4"});
+  EXPECT_TRUE(a.has("gemm"));
+  EXPECT_TRUE(a.unqueried().empty());
+}
+
+}  // namespace
+}  // namespace drift

@@ -1,0 +1,134 @@
+// Tests for the QuantEngine's automatic-threshold execution mode and
+// its interaction with the proxies' behavior guarantees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/quant_engine.hpp"
+#include "nn/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace drift::nn {
+namespace {
+
+TensorF sample_rows(std::uint64_t seed) {
+  Rng rng(seed);
+  return synth_rows(rng, 96, 64, llm_profile());
+}
+
+TEST(EngineAuto, CoverageMonotoneInBudget) {
+  const TensorF x = sample_rows(501);
+  double prev = -1.0;
+  for (double budget : {0.0, 0.005, 0.02, 0.1}) {
+    QuantEngine::Config cfg;
+    cfg.mode = QuantMode::kDrift;
+    cfg.noise_budget = budget;
+    QuantEngine engine(cfg);
+    const auto r = engine.process_activation_rows(x);
+    EXPECT_GE(r.low_fraction, prev) << "budget " << budget;
+    prev = r.low_fraction;
+  }
+}
+
+TEST(EngineAuto, ZeroBudgetEqualsInt8Rendering) {
+  // At budget 0 only free (lc = 0) conversions happen, which are
+  // value-identical to INT8: the two renderings must agree everywhere.
+  const TensorF x = sample_rows(503);
+  QuantEngine::Config int8_cfg;
+  int8_cfg.mode = QuantMode::kStaticInt8;
+  QuantEngine::Config drift_cfg;
+  drift_cfg.mode = QuantMode::kDrift;
+  drift_cfg.noise_budget = 0.0;
+  QuantEngine int8_engine(int8_cfg);
+  QuantEngine drift_engine(drift_cfg);
+  const auto r8 = int8_engine.process_activation_rows(x);
+  const auto rd = drift_engine.process_activation_rows(x);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(rd.effective.at(i), r8.effective.at(i)) << i;
+  }
+  EXPECT_GT(rd.low_fraction, 0.0);  // and it still finds free rows
+}
+
+TEST(EngineAuto, FixedThresholdModeStillAvailable) {
+  const TensorF x = sample_rows(505);
+  QuantEngine::Config cfg;
+  cfg.mode = QuantMode::kDrift;
+  cfg.auto_threshold = false;
+  cfg.drift.density_threshold = 1e12;  // rejects every density check
+  QuantEngine engine(cfg);
+  const auto r = engine.process_activation_rows(x);
+  // Only the trivially-zero sub-tensors can slip through at an absurd
+  // fixed δ; essentially everything stays high.
+  EXPECT_LT(r.low_fraction, 0.05);
+}
+
+TEST(EngineAuto, ExcessErrorRespectsBudget) {
+  // Measured excess MSE (vs INT8) of the rendering must stay within
+  // the configured budget times the signal variance.
+  const TensorF x = sample_rows(507);
+  QuantEngine::Config int8_cfg;
+  int8_cfg.mode = QuantMode::kStaticInt8;
+  QuantEngine int8_engine(int8_cfg);
+  const auto r8 = int8_engine.process_activation_rows(x);
+
+  const double budget = 0.02;
+  QuantEngine::Config cfg;
+  cfg.mode = QuantMode::kDrift;
+  cfg.noise_budget = budget;
+  QuantEngine engine(cfg);
+  const auto rd = engine.process_activation_rows(x);
+
+  double excess = 0.0, signal = 0.0, mean = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) mean += x.at(i);
+  mean /= static_cast<double>(x.numel());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const double e8 = r8.effective.at(i) - x.at(i);
+    const double ed = rd.effective.at(i) - x.at(i);
+    excess += ed * ed - e8 * e8;
+    signal += (x.at(i) - mean) * (x.at(i) - mean);
+  }
+  // The budget is enforced on the *predicted* uniform-rounding noise;
+  // allow 2x slack for the prediction-vs-realization gap.
+  EXPECT_LE(excess, 2.0 * budget * signal);
+}
+
+TEST(EngineAuto, RecordsAccumulateAndClear) {
+  const TensorF x = sample_rows(509);
+  QuantEngine::Config cfg;
+  cfg.mode = QuantMode::kDrift;
+  QuantEngine engine(cfg);
+  engine.record("a", 4, 4, 4, 0.5, 0.0);
+  engine.record("b", 8, 8, 8, 0.25, 0.0);
+  EXPECT_EQ(engine.records().size(), 2u);
+  engine.clear_records();
+  EXPECT_TRUE(engine.records().empty());
+}
+
+class EngineBudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EngineBudgetSweep, RenderingErrorBoundedBySelectedSteps) {
+  // Property: per element, |rendered - x| <= (step + Δ)/2 where step is
+  // the step of the row's selected precision.
+  const double budget = GetParam();
+  Rng rng(511);
+  const TensorF x = synth_rows(rng, 48, 32, bert_profile());
+  QuantEngine::Config cfg;
+  cfg.mode = QuantMode::kDrift;
+  cfg.noise_budget = budget;
+  QuantEngine engine(cfg);
+  const auto r = engine.process_activation_rows(x);
+  float max_abs = 0.0f;
+  for (float v : x.data()) max_abs = std::max(max_abs, std::abs(v));
+  const double delta = max_abs / 127.0;
+  // The coarsest possible step is 16Δ (lc = 4).
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_LE(std::abs(r.effective.at(i) - x.at(i)),
+              0.5 * (16 * delta + delta) + 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, EngineBudgetSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.25));
+
+}  // namespace
+}  // namespace drift::nn

@@ -1,0 +1,113 @@
+// Tests for the Hessian-aware threshold search utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hessian.hpp"
+#include "util/assert.hpp"
+
+namespace drift::core {
+namespace {
+
+/// Quadratic loss with a known Hessian diag(h): L = 1/2 sum h_i x_i^2.
+LossFn quadratic_loss(std::vector<double> h) {
+  return [h](std::span<const float> x) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      acc += 0.5 * h[i] * static_cast<double>(x[i]) * x[i];
+    }
+    return acc;
+  };
+}
+
+TEST(Curvature, ExactOnQuadratic) {
+  const auto loss = quadratic_loss({2.0, 4.0, 6.0});
+  const std::vector<float> x = {1.0f, -1.0f, 0.5f};
+  const std::vector<float> d = {1.0f, 0.0f, 0.0f};
+  // d^T H d = 2.0 exactly for a quadratic, any step.
+  EXPECT_NEAR(curvature_along(loss, x, d, 0.5), 2.0, 1e-6);
+  const std::vector<float> d2 = {1.0f, 1.0f, 1.0f};
+  EXPECT_NEAR(curvature_along(loss, x, d2, 0.25), 12.0, 1e-5);
+}
+
+TEST(Curvature, SizeMismatchThrows) {
+  const auto loss = quadratic_loss({1.0});
+  const std::vector<float> x = {1.0f};
+  const std::vector<float> d = {1.0f, 2.0f};
+  EXPECT_THROW(curvature_along(loss, x, d), drift::check_error);
+}
+
+TEST(HutchinsonTrace, RecoversQuadraticTrace) {
+  const auto loss = quadratic_loss({1.0, 2.0, 3.0, 4.0});
+  const std::vector<float> x = {0.2f, -0.3f, 0.1f, 0.5f};
+  Rng rng(89);
+  const double trace = hessian_trace_estimate(loss, x, rng, 64, 0.1);
+  // For a diagonal quadratic, v^T H v = sum h_i v_i^2 = trace exactly
+  // when v is Rademacher, so even few probes are exact up to fd error.
+  EXPECT_NEAR(trace, 10.0, 1e-3);
+}
+
+TEST(ThresholdSearch, PicksSmallestDeltaWithinBudget) {
+  // Perturbation magnitude shrinks as δ grows (stricter -> fewer low
+  // sub-tensors -> smaller error), matching the algorithm's semantics.
+  const auto loss = quadratic_loss({1.0, 1.0});
+  const std::vector<float> x = {0.0f, 0.0f};
+  auto render_at = [&](double delta) {
+    const float eps = static_cast<float>(1.0 / (1.0 + delta));
+    return std::vector<float>{eps, eps};
+  };
+  auto low_at = [](double delta) { return 1.0 / (1.0 + delta); };
+  const std::vector<double> grid = {0.1, 1.0, 10.0, 100.0};
+  // ΔL(δ) = (1/(1+δ))^2; budget 0.05 -> need 1/(1+δ) <= ~0.2236 ->
+  // δ >= 3.47 -> first qualifying grid point is 10.
+  const auto result = select_threshold_hessian_aware(
+      loss, x, render_at, low_at, grid, 0.05);
+  EXPECT_TRUE(result.within_budget);
+  EXPECT_DOUBLE_EQ(result.chosen_delta, 10.0);
+  ASSERT_EQ(result.candidates.size(), 4u);
+  EXPECT_GT(result.candidates[0].predicted_loss_increase,
+            result.candidates[3].predicted_loss_increase);
+}
+
+TEST(ThresholdSearch, FallsBackToLargestWhenNothingFits) {
+  const auto loss = quadratic_loss({100.0});
+  const std::vector<float> x = {0.0f};
+  auto render_at = [](double) { return std::vector<float>{1.0f}; };
+  auto low_at = [](double) { return 0.5; };
+  const std::vector<double> grid = {0.1, 1.0};
+  const auto result = select_threshold_hessian_aware(
+      loss, x, render_at, low_at, grid, 1e-6);
+  EXPECT_FALSE(result.within_budget);
+  EXPECT_DOUBLE_EQ(result.chosen_delta, 1.0);
+}
+
+TEST(ThresholdSearch, UnsortedGridThrows) {
+  const auto loss = quadratic_loss({1.0});
+  const std::vector<float> x = {0.0f};
+  auto render_at = [](double) { return std::vector<float>{0.0f}; };
+  auto low_at = [](double) { return 0.0; };
+  const std::vector<double> grid = {1.0, 0.1};
+  EXPECT_THROW(select_threshold_hessian_aware(loss, x, render_at, low_at,
+                                              grid, 1.0),
+               drift::check_error);
+}
+
+TEST(ThresholdSearch, ConcaveDirectionTreatedAsZeroImpact) {
+  // A locally concave loss must not produce negative predictions.
+  LossFn loss = [](std::span<const float> x) {
+    double acc = 0.0;
+    for (float v : x) acc -= 0.5 * static_cast<double>(v) * v;
+    return acc;
+  };
+  const std::vector<float> x = {0.0f};
+  auto render_at = [](double) { return std::vector<float>{1.0f}; };
+  auto low_at = [](double) { return 1.0; };
+  const std::vector<double> grid = {1.0};
+  const auto result = select_threshold_hessian_aware(
+      loss, x, render_at, low_at, grid, 0.1);
+  EXPECT_DOUBLE_EQ(result.candidates[0].predicted_loss_increase, 0.0);
+  EXPECT_TRUE(result.within_budget);
+}
+
+}  // namespace
+}  // namespace drift::core

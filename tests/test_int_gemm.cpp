@@ -1,0 +1,119 @@
+// Cross-verification of the float "effective rendering" simulation
+// against the integer-domain execution the hardware actually performs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gemm.hpp"
+#include "nn/int_gemm.hpp"
+#include "nn/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace drift::nn {
+namespace {
+
+TEST(IntGemm, DequantizeMatchesEffectiveRendering) {
+  Rng rng(401);
+  const TensorF x = synth_rows(rng, 48, 96, bert_profile());
+  const auto op = quantize_rows(x, core::SelectorConfig{}, 0.05);
+  const TensorF dequant = dequantize_operand(op);
+  // Each element must equal code * row_scale exactly.
+  for (std::int64_t r = 0; r < 48; ++r) {
+    const double scale = op.row_scale(r);
+    for (std::int64_t c = 0; c < 96; ++c) {
+      EXPECT_FLOAT_EQ(dequant(r, c),
+                      static_cast<float>(op.codes(r, c) * scale));
+    }
+  }
+}
+
+TEST(IntGemm, CodesRespectSelectedPrecision) {
+  Rng rng(403);
+  const TensorF x = synth_rows(rng, 64, 128, llm_profile());
+  const auto op = quantize_rows(x, core::SelectorConfig{}, 0.05);
+  for (std::int64_t r = 0; r < 64; ++r) {
+    const std::int64_t lim = op.rows[static_cast<std::size_t>(r)].use_low
+                                 ? op.lp.max_level()
+                                 : op.params.bits.max_level();
+    for (std::int64_t c = 0; c < 128; ++c) {
+      EXPECT_LE(std::abs(op.codes(r, c)), lim)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(IntGemm, IntegerPathEqualsFloatPath) {
+  // The headline equivalence: integer MAC + per-output rescale equals
+  // the float GEMM over the effective renderings (up to float
+  // summation order, hence the tight relative tolerance).
+  Rng rng(405);
+  const TensorF a = synth_rows(rng, 24, 64, bert_profile());
+  const TensorF w = synth_rows(rng, 32, 64, weight_profile());
+  const auto qa = quantize_rows(a, core::SelectorConfig{}, 0.05);
+  const auto qw = quantize_rows(w, core::SelectorConfig{}, 0.05);
+
+  const TensorF int_out = int_gemm_nt(qa, qw);
+  const TensorF float_out =
+      matmul_nt(dequantize_operand(qa), dequantize_operand(qw));
+
+  for (std::int64_t i = 0; i < int_out.numel(); ++i) {
+    const double expect = float_out.at(i);
+    const double got = int_out.at(i);
+    EXPECT_NEAR(got, expect,
+                std::max(1e-4, 1e-5 * std::abs(expect)))
+        << "element " << i;
+  }
+}
+
+TEST(IntGemm, MixedPrecisionActuallyUsed) {
+  Rng rng(407);
+  const TensorF a = synth_rows(rng, 64, 256, llm_profile());
+  const auto qa = quantize_rows(a, core::SelectorConfig{}, 0.05);
+  int low = 0;
+  for (const auto& d : qa.rows) low += d.use_low ? 1 : 0;
+  EXPECT_GT(low, 10);           // a real mix,
+  EXPECT_LT(low, 64);           // not a degenerate all-low selection
+}
+
+TEST(IntGemm, LlFractionComputation) {
+  Rng rng(409);
+  const TensorF a = synth_rows(rng, 32, 64, llm_profile());
+  const TensorF w = synth_rows(rng, 32, 64, weight_profile());
+  const auto qa = quantize_rows(a, core::SelectorConfig{}, 0.1);
+  const auto qw = quantize_rows(w, core::SelectorConfig{}, 0.1);
+  const double f = ll_fraction(qa, qw);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  double act_low = 0.0, wgt_low = 0.0;
+  for (const auto& d : qa.rows) act_low += d.use_low ? 1.0 : 0.0;
+  for (const auto& d : qw.rows) wgt_low += d.use_low ? 1.0 : 0.0;
+  EXPECT_NEAR(f, (act_low / 32.0) * (wgt_low / 32.0), 1e-12);
+}
+
+class IntGemmPrecisionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntGemmPrecisionSweep, EquivalenceHoldsForFlexiblePrecisions) {
+  // Section 5.3: the BG fabric also supports 3- and 5-bit settings;
+  // the integer/float equivalence must hold for those too.
+  const int lp = GetParam();
+  Rng rng(411 + static_cast<std::uint64_t>(lp));
+  const TensorF a = synth_rows(rng, 16, 48, bert_profile());
+  const TensorF w = synth_rows(rng, 24, 48, weight_profile());
+  core::SelectorConfig cfg;
+  cfg.lp = core::Precision(lp);
+  const auto qa = quantize_rows(a, cfg, 0.05);
+  const auto qw = quantize_rows(w, cfg, 0.05);
+  const TensorF int_out = int_gemm_nt(qa, qw);
+  const TensorF float_out =
+      matmul_nt(dequantize_operand(qa), dequantize_operand(qw));
+  for (std::int64_t i = 0; i < int_out.numel(); ++i) {
+    EXPECT_NEAR(int_out.at(i), float_out.at(i),
+                std::max(1e-4, 1e-5 * std::abs(float_out.at(i))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlexiblePrecisions, IntGemmPrecisionSweep,
+                         ::testing::Values(3, 4, 5));
+
+}  // namespace
+}  // namespace drift::nn

@@ -1,0 +1,158 @@
+// Cross-module integration tests: algorithm -> mix -> scheduler ->
+// accelerator pipeline, and analytical-vs-cycle-sim cross-verification.
+#include <gtest/gtest.h>
+
+#include "accel/compare.hpp"
+#include "core/hessian.hpp"
+#include "nn/precision_mix.hpp"
+#include "nn/proxy.hpp"
+#include "systolic/cycle_sim.hpp"
+
+namespace drift {
+namespace {
+
+TEST(Integration, AnalyticalAndCycleSimAgreeOnStallFreeWorkloads) {
+  // The paper cross-verifies its simulator against RTL; we cross-verify
+  // the Eq. 7 analytical model against the cycle-level simulation on a
+  // sweep of shapes (scalar-array form: pa=4 rows, one column class).
+  Rng rng(211);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t M = rng.uniform_int(1, 40);
+    const std::int64_t K = rng.uniform_int(1, 30);
+    const std::int64_t N = rng.uniform_int(1, 30);
+    const std::int64_t R = rng.uniform_int(2, 8);
+    const std::int64_t C = rng.uniform_int(2, 8);
+    TensorI32 a(Shape{M, K}, 1);
+    TensorI32 w(Shape{K, N}, 1);
+    const auto sim = systolic::simulate_gemm(a, w, {R, C});
+    const std::int64_t tiles = ((K + R - 1) / R) * ((N + C - 1) / C);
+    const std::int64_t analytical = tiles * (R + (M + R + C - 2));
+    EXPECT_EQ(sim.cycles, analytical)
+        << "M=" << M << " K=" << K << " N=" << N << " R=" << R
+        << " C=" << C;
+  }
+}
+
+TEST(Integration, ProxyRecordsFeedLayerWork) {
+  // The functional engine's records and the shape-level mix generator
+  // must tell a consistent story about low-precision coverage.
+  nn::TransformerProxy::Config cfg;
+  cfg.samples = 16;
+  const nn::TransformerProxy proxy(cfg);
+  nn::QuantEngine::Config ecfg;
+  ecfg.mode = nn::QuantMode::kDrift;
+  ecfg.drift.density_threshold = 0.5;
+  nn::QuantEngine engine(ecfg);
+  const auto result = proxy.evaluate(engine);
+  EXPECT_FALSE(engine.records().size() == 0);
+  EXPECT_NEAR(engine.overall_act_low_fraction(), result.act_low_fraction,
+              1e-9);
+}
+
+TEST(Integration, HessianSearchPicksUsableThresholdOnRealProxy) {
+  // End-to-end Hessian-aware δ selection on the transformer proxy's
+  // first-layer activations.
+  Rng rng(223);
+  const std::int64_t rows = 24, cols = 32;
+  nn::SubTensorScaleProfile profile = nn::bert_profile();
+  const TensorF x = nn::synth_rows(rng, rows, cols, profile);
+  const auto views = partition_rows(x.shape());
+  const auto params = core::compute_quant_params(x.data(), core::kInt8);
+
+  // Loss: distance of a fixed random projection of the activations
+  // (stand-in for downstream task loss).
+  std::vector<float> probe(static_cast<std::size_t>(cols));
+  for (auto& p : probe) p = static_cast<float>(rng.normal());
+  std::vector<float> reference(static_cast<std::size_t>(rows), 0.0f);
+  auto project = [&](std::span<const float> vals, std::size_t r) {
+    double acc = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      acc += static_cast<double>(
+                 vals[static_cast<std::size_t>(r) * cols +
+                      static_cast<std::size_t>(c)]) *
+             probe[static_cast<std::size_t>(c)];
+    }
+    return acc;
+  };
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r) {
+    reference[r] = static_cast<float>(project(x.data(), r));
+  }
+  core::LossFn loss = [&](std::span<const float> vals) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(rows); ++r) {
+      const double d = project(vals, r) - reference[r];
+      acc += d * d;
+    }
+    return acc / static_cast<double>(rows);
+  };
+
+  auto render_at = [&](double delta) {
+    core::SelectorConfig scfg;
+    scfg.density_threshold = delta;
+    const core::DynamicQuantizer dq(scfg);
+    const auto map = dq.select(x.data(), views, params);
+    return dq.apply(x.data(), views, params, map);
+  };
+  auto low_at = [&](double delta) {
+    core::SelectorConfig scfg;
+    scfg.density_threshold = delta;
+    const core::DynamicQuantizer dq(scfg);
+    return dq.select(x.data(), views, params).low_fraction_by_elements();
+  };
+
+  // Code-unit ratios span decades; the top of the grid selects nothing
+  // beyond the INT8 floor, whose own loss sets the attainable minimum
+  // — the budget is expressed relative to that floor.
+  const std::vector<double> grid = {1e-2, 1e0, 1e2, 1e4, 1e6, 1e8};
+  std::vector<float> int8_floor = render_at(grid.back());
+  std::vector<float> floor_dir(x.numel());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    floor_dir[static_cast<std::size_t>(i)] =
+        int8_floor[static_cast<std::size_t>(i)] - x.data()[
+            static_cast<std::size_t>(i)];
+  }
+  const double floor_loss =
+      std::max(0.5 * core::curvature_along(loss, x.data(), floor_dir), 0.0);
+  const auto result = core::select_threshold_hessian_aware(
+      loss, x.data(), render_at, low_at, grid, floor_loss * 1.5 + 1e-9);
+  EXPECT_TRUE(result.within_budget);
+  // Low fraction must decrease (weakly) along the grid.
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    EXPECT_LE(result.candidates[i].low_fraction,
+              result.candidates[i - 1].low_fraction + 1e-9);
+  }
+}
+
+TEST(Integration, FullPipelineSevenModels) {
+  // Smoke test over the whole paper workload set: every model runs on
+  // all four accelerators and preserves the headline ordering.
+  accel::CompareConfig cfg;
+  cfg.drift_selector.density_threshold = 0.5;
+  double drift_over_bf_product = 1.0;
+  int n = 0;
+  for (const auto& spec : nn::paper_workloads()) {
+    const auto cmp = accel::compare_workload(spec, cfg);
+    EXPECT_GT(cmp.speedup_drift(), 1.0) << spec.model;
+    EXPECT_GE(cmp.speedup_drift() * 1.0001, cmp.speedup_drq()) << spec.model;
+    drift_over_bf_product *=
+        cmp.speedup_drift() / cmp.speedup_bitfusion();
+    ++n;
+  }
+  const double geomean =
+      std::pow(drift_over_bf_product, 1.0 / static_cast<double>(n));
+  // Paper: 2.85x average over BitFusion; accept the 2-4x band.
+  EXPECT_GT(geomean, 1.8);
+  EXPECT_LT(geomean, 4.5);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  accel::CompareConfig cfg;
+  cfg.drift_selector.density_threshold = 0.5;
+  const auto a = accel::compare_workload(nn::make_deit_s(), cfg);
+  const auto b = accel::compare_workload(nn::make_deit_s(), cfg);
+  EXPECT_EQ(a.drift.cycles, b.drift.cycles);
+  EXPECT_DOUBLE_EQ(a.drift.energy.total_pj(), b.drift.energy.total_pj());
+}
+
+}  // namespace
+}  // namespace drift

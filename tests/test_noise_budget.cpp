@@ -1,0 +1,174 @@
+// Tests for the automatic (noise-budget) threshold selection — the
+// stats-only counterpart of the Hessian-aware minimum-δ rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/noise_budget.hpp"
+#include "nn/synthetic.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace drift::core {
+namespace {
+
+QuantParams params_for(double max_abs) {
+  QuantParams p;
+  p.delta = max_abs / 127.0;
+  return p;
+}
+
+SubTensorStats laplace_stats(double b, double max_mult = 7.0) {
+  SubTensorStats s;
+  s.mean_abs = b;
+  s.max_abs = b * max_mult;
+  s.mean = 0.0;
+  s.mean_sq = 2.0 * b * b;
+  return s;
+}
+
+TEST(NoiseBudget, FreeConversionsAlwaysTaken) {
+  // Sub-tensors whose exact 4-bit range covers them at lc = 0 are
+  // INT8-equivalent and selected even at zero budget.
+  const QuantParams p = params_for(100.0);
+  // max = 3.5 << 7*delta*... exact range at hc=4 is 7*delta = 5.5.
+  std::vector<SubTensorStats> stats = {laplace_stats(0.5),
+                                       laplace_stats(90.0 / 7.0)};
+  std::vector<std::int64_t> sizes = {64, 64};
+  const auto r = select_auto_threshold(stats, sizes, p, SelectorConfig{},
+                                       /*budget=*/0.0);
+  EXPECT_TRUE(r.decisions[0].use_low);   // fits lc = 0: free
+  EXPECT_EQ(r.decisions[0].choice.lc, 0);
+  EXPECT_FALSE(r.decisions[1].use_low);  // needs lc > 0: costs noise
+  EXPECT_DOUBLE_EQ(r.excess_relative_mse, 0.0);
+}
+
+TEST(NoiseBudget, BudgetBuysNoisyConversions) {
+  const QuantParams p = params_for(100.0);
+  // max 80 < the exact lc=4 range (88.2), so conversion is feasible
+  // but carries rounding noise the budget must pay for.
+  std::vector<SubTensorStats> stats = {laplace_stats(80.0 / 7.0)};
+  std::vector<std::int64_t> sizes = {64};
+  const auto tight = select_auto_threshold(stats, sizes, p,
+                                           SelectorConfig{}, 0.0);
+  const auto loose = select_auto_threshold(stats, sizes, p,
+                                           SelectorConfig{}, 0.5);
+  EXPECT_FALSE(tight.decisions[0].use_low);
+  EXPECT_TRUE(loose.decisions[0].use_low);
+  EXPECT_GT(loose.excess_relative_mse, 0.0);
+  EXPECT_LE(loose.excess_relative_mse, 0.5);
+}
+
+TEST(NoiseBudget, CoverageMonotoneInBudget) {
+  Rng rng(301);
+  const auto stats =
+      nn::sample_subtensor_stats(rng, 512, 768, nn::bert_profile());
+  std::vector<std::int64_t> sizes(stats.size(), 768);
+  double max_abs = 0.0;
+  for (const auto& s : stats) max_abs = std::max(max_abs, s.max_abs);
+  const QuantParams p = params_for(max_abs * 127.0 / 127.0);
+
+  double prev = -1.0;
+  for (double budget : {0.0, 0.001, 0.01, 0.05, 0.2}) {
+    const auto r = select_auto_threshold(stats, sizes, p, SelectorConfig{},
+                                         budget);
+    EXPECT_GE(r.low_fraction_by_elements, prev);
+    EXPECT_LE(r.excess_relative_mse, budget + 1e-12);
+    prev = r.low_fraction_by_elements;
+  }
+}
+
+TEST(NoiseBudget, LocalCapRejectsWipeouts) {
+  // A quiet sub-tensor whose lc >= 1 step would exceed the cap times
+  // its own variance must stay high even under a huge global budget.
+  const QuantParams p = params_for(100.0);
+  // b tiny but max forces lc = 2: step 4*delta ~ 3.1, variance ~ 2*b^2.
+  SubTensorStats quiet;
+  quiet.mean_abs = 0.4;
+  quiet.mean = 0.0;
+  quiet.mean_sq = 2.0 * 0.4 * 0.4;
+  quiet.max_abs = 20.0;  // needs lc = 2 (exact range 22.05 at lc=2)
+  std::vector<SubTensorStats> stats = {quiet};
+  std::vector<std::int64_t> sizes = {64};
+  const auto r = select_auto_threshold(stats, sizes, p, SelectorConfig{},
+                                       /*budget=*/100.0, /*noise_cap=*/0.125);
+  EXPECT_FALSE(r.decisions[0].use_low);
+  // With a permissive cap the same sub-tensor converts.
+  const auto r2 = select_auto_threshold(stats, sizes, p, SelectorConfig{},
+                                        100.0, /*noise_cap=*/100.0);
+  EXPECT_TRUE(r2.decisions[0].use_low);
+}
+
+TEST(NoiseBudget, TrueVarianceGuardsShiftedData) {
+  // Post-ReLU-like sub-tensor: large mean_abs (so the Laplace proxy
+  // sees lots of "variance") but tiny true variation.  The true
+  // variance accumulator must prevent the wipe-out.
+  const QuantParams p = params_for(100.0);
+  SubTensorStats shifted;
+  shifted.mean_abs = 10.0;
+  shifted.mean = 10.0;           // all values near +10
+  shifted.mean_sq = 100.4;       // true variance = 0.4
+  shifted.max_abs = 20.0;        // forces lc = 2, step ~ 3.1
+  std::vector<SubTensorStats> stats = {shifted};
+  std::vector<std::int64_t> sizes = {64};
+  const auto r = select_auto_threshold(stats, sizes, p, SelectorConfig{},
+                                       100.0, 0.125);
+  EXPECT_FALSE(r.decisions[0].use_low);
+}
+
+TEST(NoiseBudget, ImpliedDeltaReproducesSelection) {
+  // Running Eq. 5-6 at the reported δ must accept every selected
+  // sub-tensor whose conversion carries noise (the δ cut property).
+  Rng rng(307);
+  const auto stats =
+      nn::sample_subtensor_stats(rng, 256, 512, nn::llm_profile());
+  std::vector<std::int64_t> sizes(stats.size(), 512);
+  double max_abs = 0.0;
+  for (const auto& s : stats) max_abs = std::max(max_abs, s.max_abs);
+  QuantParams p;
+  p.delta = max_abs / 127.0;
+  const auto r =
+      select_auto_threshold(stats, sizes, p, SelectorConfig{}, 0.02);
+  SelectorConfig at_cut;
+  at_cut.density_threshold = r.delta_threshold;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (!r.decisions[i].use_low) continue;
+    if (r.decisions[i].choice.lc == 0) continue;  // free: below any δ
+    EXPECT_TRUE(select_precision(stats[i], p, at_cut).use_low) << i;
+  }
+}
+
+TEST(NoiseBudget, MapMatchesDecisions) {
+  Rng rng(311);
+  const auto stats =
+      nn::sample_subtensor_stats(rng, 64, 128, nn::bert_profile());
+  std::vector<std::int64_t> sizes(stats.size(), 128);
+  double max_abs = 0.0;
+  for (const auto& s : stats) max_abs = std::max(max_abs, s.max_abs);
+  QuantParams p;
+  p.delta = max_abs / 127.0;
+  const auto sel =
+      select_auto_threshold(stats, sizes, p, SelectorConfig{}, 0.05);
+  const auto map =
+      auto_threshold_map(stats, sizes, p, SelectorConfig{}, 0.05);
+  ASSERT_EQ(map.num_subtensors(), sel.decisions.size());
+  double low = 0.0;
+  for (std::size_t i = 0; i < sel.decisions.size(); ++i) {
+    EXPECT_EQ(map.decision(i).use_low, sel.decisions[i].use_low);
+    if (sel.decisions[i].use_low) low += 1.0;
+  }
+  EXPECT_NEAR(map.low_fraction_by_elements(),
+              sel.low_fraction_by_elements, 1e-12);
+}
+
+TEST(NoiseBudget, MismatchedSizesThrow) {
+  std::vector<SubTensorStats> stats(3);
+  std::vector<std::int64_t> sizes(2, 10);
+  QuantParams p;
+  EXPECT_THROW(
+      select_auto_threshold(stats, sizes, p, SelectorConfig{}, 0.1),
+      drift::check_error);
+}
+
+}  // namespace
+}  // namespace drift::core

@@ -1,0 +1,194 @@
+// Tests for the cycle-level systolic simulation and stall models,
+// including the cross-verification against Equation 7.
+#include <gtest/gtest.h>
+
+#include "core/analytical_model.hpp"
+#include "systolic/cycle_sim.hpp"
+#include "systolic/stall_model.hpp"
+#include "util/rng.hpp"
+
+namespace drift::systolic {
+namespace {
+
+TensorI32 random_int_tensor(Rng& rng, Shape shape, int lim) {
+  TensorI32 t(std::move(shape));
+  for (auto& v : t.data()) {
+    v = static_cast<std::int32_t>(rng.uniform_int(-lim, lim));
+  }
+  return t;
+}
+
+TEST(CycleSim, TileOutputMatchesMatmul) {
+  Rng rng(151);
+  const TensorI32 a = random_int_tensor(rng, Shape{6, 4}, 20);
+  const TensorI32 w = random_int_tensor(rng, Shape{4, 5}, 20);
+  const std::vector<std::int64_t> costs(6, 1);
+  const SimResult r = simulate_tile(a, w, costs);
+  for (std::int64_t m = 0; m < 6; ++m) {
+    for (std::int64_t n = 0; n < 5; ++n) {
+      std::int64_t acc = 0;
+      for (std::int64_t k = 0; k < 4; ++k) acc += a(m, k) * w(k, n);
+      EXPECT_EQ(r.output(m, n), acc);
+    }
+  }
+}
+
+TEST(CycleSim, UniformTileMatchesEquationSevenTerm) {
+  // One tile: cycles = T_pre + T_exe = R + (M + R + C - 2).
+  Rng rng(157);
+  const std::int64_t M = 17, R = 5, C = 9;
+  const TensorI32 a = random_int_tensor(rng, Shape{M, R}, 10);
+  const TensorI32 w = random_int_tensor(rng, Shape{R, C}, 10);
+  const std::vector<std::int64_t> costs(static_cast<std::size_t>(M), 1);
+  const SimResult r = simulate_tile(a, w, costs);
+  EXPECT_EQ(r.preload_cycles, R);
+  EXPECT_EQ(r.cycles, R + M + R + C - 2);
+  EXPECT_EQ(r.stall_cycles, 0);
+}
+
+TEST(CycleSim, GemmCyclesMatchScalarAnalyticalForm) {
+  // Tiled GEMM on a scalar R x C array:
+  // tiles = ceil(K/R)*ceil(N/C), each costing 2R + M + C - 2.
+  Rng rng(163);
+  const std::int64_t M = 11, K = 14, N = 10, R = 4, C = 3;
+  const TensorI32 a = random_int_tensor(rng, Shape{M, K}, 8);
+  const TensorI32 w = random_int_tensor(rng, Shape{K, N}, 8);
+  const SimResult r = simulate_gemm(a, w, {R, C});
+  const std::int64_t tiles = ((K + R - 1) / R) * ((N + C - 1) / C);
+  EXPECT_EQ(r.cycles, tiles * (2 * R + M + C - 2));
+}
+
+TEST(CycleSim, GemmOutputCorrectUnderTiling) {
+  Rng rng(167);
+  const TensorI32 a = random_int_tensor(rng, Shape{7, 13}, 6);
+  const TensorI32 w = random_int_tensor(rng, Shape{13, 9}, 6);
+  const SimResult r = simulate_gemm(a, w, {4, 4});
+  for (std::int64_t m = 0; m < 7; ++m) {
+    for (std::int64_t n = 0; n < 9; ++n) {
+      std::int64_t acc = 0;
+      for (std::int64_t k = 0; k < 13; ++k) acc += a(m, k) * w(k, n);
+      EXPECT_EQ(r.output(m, n), acc);
+    }
+  }
+}
+
+TEST(CycleSim, MixedCostsIncurStalls) {
+  Rng rng(173);
+  const std::int64_t M = 32, R = 6, C = 6;
+  const TensorI32 a = random_int_tensor(rng, Shape{M, R}, 5);
+  const TensorI32 w = random_int_tensor(rng, Shape{R, C}, 5);
+  // A slow row early in the stream throttles everything behind it.
+  std::vector<std::int64_t> costs(static_cast<std::size_t>(M), 1);
+  costs[2] = 2;
+  const SimResult r = simulate_tile(a, w, costs);
+  EXPECT_GT(r.stall_cycles, 0);
+}
+
+TEST(Pipeline, UniformReducesToFillPlusStream) {
+  const std::vector<std::int64_t> costs(100, 1);
+  EXPECT_EQ(pipeline_exit_cycles(costs, 10), 100 + 10 - 1);
+  EXPECT_EQ(pipeline_stall_cycles(costs, 10), 0);
+}
+
+TEST(Pipeline, AllSlowRowsScaleLinearly) {
+  const std::vector<std::int64_t> costs(50, 2);
+  // Last row exits at sum + (stages-1)*cost: no interference.
+  EXPECT_EQ(pipeline_exit_cycles(costs, 8), 100 + 7 * 2);
+  EXPECT_EQ(pipeline_stall_cycles(costs, 8), 0);
+}
+
+TEST(Pipeline, SlowRowDelaysDrainOfFollowers) {
+  std::vector<std::int64_t> costs(20, 1);
+  costs[0] = 3;
+  const std::int64_t stages = 6;
+  const std::int64_t exit = pipeline_exit_cycles(costs, stages);
+  // Followers queue behind the slow head: it exits at 3*stages, then
+  // the remaining 19 unit rows drain one per cycle.
+  EXPECT_EQ(exit, 3 * stages + 19);
+  EXPECT_GT(pipeline_stall_cycles(costs, stages), 0);
+}
+
+TEST(Pipeline, MonotoneInCosts) {
+  Rng rng(179);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::int64_t> base(64);
+    for (auto& c : base) c = rng.uniform_int(1, 3);
+    std::vector<std::int64_t> worse = base;
+    worse[static_cast<std::size_t>(rng.uniform_int(0, 63))] += 1;
+    EXPECT_GE(pipeline_exit_cycles(worse, 12),
+              pipeline_exit_cycles(base, 12));
+  }
+}
+
+TEST(RunSwitching, UniformStreamsHaveNoSwitches) {
+  const std::vector<bool> all_low(100, true);
+  const auto r = run_switching_exe_cycles(all_low, 1, 2, 50);
+  EXPECT_EQ(r.switches, 0);
+  EXPECT_EQ(r.exe_cycles, 100);
+  EXPECT_FALSE(r.fell_back_to_high);
+}
+
+TEST(RunSwitching, ContiguousRunsPayPerTransition) {
+  // 50 low, 50 high: one switch.
+  std::vector<bool> pattern(100, true);
+  for (int i = 50; i < 100; ++i) pattern[static_cast<std::size_t>(i)] = false;
+  const auto r = run_switching_exe_cycles(pattern, 1, 2, 10);
+  EXPECT_EQ(r.switches, 1);
+  EXPECT_EQ(r.exe_cycles, 50 + 100 + 10);
+  EXPECT_EQ(r.stall_cycles, 10);
+}
+
+TEST(RunSwitching, FineInterleavingFallsBackToHigh) {
+  // Alternating pattern: switch costs would dominate, so the
+  // controller runs everything at high precision (the DRQ-on-ViT
+  // mechanism).
+  std::vector<bool> pattern(100);
+  for (int i = 0; i < 100; ++i) pattern[static_cast<std::size_t>(i)] = i % 2;
+  const auto r = run_switching_exe_cycles(pattern, 1, 2, 55);
+  EXPECT_TRUE(r.fell_back_to_high);
+  EXPECT_EQ(r.exe_cycles, 200);
+}
+
+TEST(RunSwitching, FallbackNeverWorseThanMixed) {
+  Rng rng(181);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bool> pattern(128);
+    const double p = rng.uniform();
+    for (auto&& b : pattern) b = rng.bernoulli(p);
+    const auto r = run_switching_exe_cycles(pattern, 1, 2, 55);
+    EXPECT_LE(r.exe_cycles, r.mixed_cycles);
+    EXPECT_LE(r.exe_cycles, static_cast<std::int64_t>(pattern.size()) * 2);
+  }
+}
+
+TEST(CostsFromPattern, MapsBools) {
+  const std::vector<bool> pattern = {true, false, true};
+  const auto costs = costs_from_pattern(pattern, 1, 2);
+  EXPECT_EQ(costs, (std::vector<std::int64_t>{1, 2, 1}));
+}
+
+class PipelinePropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelinePropertySweep, ExitNeverBelowEitherLowerBound) {
+  // Property: exit >= sum of costs (stage-0 occupancy) and
+  // exit >= max_cost * stages (slowest row transit).
+  Rng rng(191 + GetParam());
+  std::vector<std::int64_t> costs(static_cast<std::size_t>(
+      rng.uniform_int(1, 200)));
+  std::int64_t sum = 0, peak = 0;
+  for (auto& c : costs) {
+    c = rng.uniform_int(1, 4);
+    sum += c;
+    peak = std::max(peak, c);
+  }
+  const std::int64_t stages = rng.uniform_int(1, 40);
+  const std::int64_t exit = pipeline_exit_cycles(costs, stages);
+  EXPECT_GE(exit, sum);
+  EXPECT_GE(exit, peak * stages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, PipelinePropertySweep,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace drift::systolic

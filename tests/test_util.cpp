@@ -1,0 +1,183 @@
+// Tests for src/util: checks, CSV, tables, RNG.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace drift {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(DRIFT_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(DRIFT_CHECK(false, "boom"), check_error);
+}
+
+TEST(Check, MessageContainsExpressionAndText) {
+  try {
+    DRIFT_CHECK(2 < 1, "custom context");
+    FAIL() << "expected throw";
+  } catch (const check_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+TEST(Check, IndexMacroAcceptsValidIndex) {
+  EXPECT_NO_THROW(DRIFT_CHECK_INDEX(0, 3));
+  EXPECT_NO_THROW(DRIFT_CHECK_INDEX(2, 3));
+}
+
+TEST(Check, IndexMacroRejectsOutOfRange) {
+  EXPECT_THROW(DRIFT_CHECK_INDEX(3, 3), check_error);
+  EXPECT_THROW(DRIFT_CHECK_INDEX(-1, 3), check_error);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkStreamsAreIndependentAndDeterministic) {
+  Rng base(7);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1_again = Rng(7).fork(1);
+  EXPECT_DOUBLE_EQ(f1.uniform(), f1_again.uniform());
+  EXPECT_NE(f1.uniform(), f2.uniform());
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, LaplaceSampleMomentsMatchTheory) {
+  Rng rng(11);
+  const double b = 1.7;
+  double sum = 0.0, sum_abs = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.laplace(b);
+    sum += x;
+    sum_abs += std::abs(x);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);       // zero mean
+  EXPECT_NEAR(sum_abs / n, b, b * 0.02); // E|X| = b
+}
+
+TEST(Rng, RademacherIsBalanced) {
+  Rng rng(5);
+  int plus = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.rademacher();
+    EXPECT_TRUE(v == 1.0 || v == -1.0);
+    if (v > 0) ++plus;
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / n, 0.5, 0.03);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "test_csv_out.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row({"1", "2"});
+    csv.row_values(3.5, "x");
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3.5,x");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesCommasAndQuotes) {
+  const std::string path = "test_csv_escape.csv";
+  {
+    CsvWriter csv(path, {"v"});
+    csv.row({"hello, world"});
+    csv.row({"say \"hi\""});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"hello, world\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"say \"\"hi\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  const std::string path = "test_csv_width.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), check_error);
+  std::remove(path.c_str());
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.824, 1), "82.4%");
+  EXPECT_EQ(TextTable::ratio(2.85), "2.85x");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), check_error);
+}
+
+}  // namespace
+}  // namespace drift
