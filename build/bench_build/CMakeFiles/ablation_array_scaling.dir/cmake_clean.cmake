@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_array_scaling"
+  "../bench/ablation_array_scaling.pdb"
+  "CMakeFiles/ablation_array_scaling.dir/ablation_array_scaling.cpp.o"
+  "CMakeFiles/ablation_array_scaling.dir/ablation_array_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_array_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

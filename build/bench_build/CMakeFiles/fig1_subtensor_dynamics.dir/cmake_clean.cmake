@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_subtensor_dynamics"
+  "../bench/fig1_subtensor_dynamics.pdb"
+  "CMakeFiles/fig1_subtensor_dynamics.dir/fig1_subtensor_dynamics.cpp.o"
+  "CMakeFiles/fig1_subtensor_dynamics.dir/fig1_subtensor_dynamics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_subtensor_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

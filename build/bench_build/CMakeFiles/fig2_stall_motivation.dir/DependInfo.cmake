@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_stall_motivation.cpp" "bench_build/CMakeFiles/fig2_stall_motivation.dir/fig2_stall_motivation.cpp.o" "gcc" "bench_build/CMakeFiles/fig2_stall_motivation.dir/fig2_stall_motivation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/drift_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/drift_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/drift_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/drift_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/drift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/drift_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

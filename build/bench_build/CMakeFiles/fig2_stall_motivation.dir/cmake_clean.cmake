@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_stall_motivation"
+  "../bench/fig2_stall_motivation.pdb"
+  "CMakeFiles/fig2_stall_motivation.dir/fig2_stall_motivation.cpp.o"
+  "CMakeFiles/fig2_stall_motivation.dir/fig2_stall_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stall_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

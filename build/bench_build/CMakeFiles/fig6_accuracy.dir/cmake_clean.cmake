@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_accuracy"
+  "../bench/fig6_accuracy.pdb"
+  "CMakeFiles/fig6_accuracy.dir/fig6_accuracy.cpp.o"
+  "CMakeFiles/fig6_accuracy.dir/fig6_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

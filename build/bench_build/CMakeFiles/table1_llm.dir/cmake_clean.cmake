@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_llm"
+  "../bench/table1_llm.pdb"
+  "CMakeFiles/table1_llm.dir/table1_llm.cpp.o"
+  "CMakeFiles/table1_llm.dir/table1_llm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_comparison.dir/accel_comparison.cpp.o"
+  "CMakeFiles/accel_comparison.dir/accel_comparison.cpp.o.d"
+  "accel_comparison"
+  "accel_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_layer_study.dir/llm_layer_study.cpp.o"
+  "CMakeFiles/llm_layer_study.dir/llm_layer_study.cpp.o.d"
+  "llm_layer_study"
+  "llm_layer_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_layer_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

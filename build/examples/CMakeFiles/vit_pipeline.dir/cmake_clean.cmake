@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vit_pipeline.dir/vit_pipeline.cpp.o"
+  "CMakeFiles/vit_pipeline.dir/vit_pipeline.cpp.o.d"
+  "vit_pipeline"
+  "vit_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vit_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

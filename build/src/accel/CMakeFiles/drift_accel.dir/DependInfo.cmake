@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/bitfusion.cpp" "src/accel/CMakeFiles/drift_accel.dir/bitfusion.cpp.o" "gcc" "src/accel/CMakeFiles/drift_accel.dir/bitfusion.cpp.o.d"
+  "/root/repo/src/accel/compare.cpp" "src/accel/CMakeFiles/drift_accel.dir/compare.cpp.o" "gcc" "src/accel/CMakeFiles/drift_accel.dir/compare.cpp.o.d"
+  "/root/repo/src/accel/controller.cpp" "src/accel/CMakeFiles/drift_accel.dir/controller.cpp.o" "gcc" "src/accel/CMakeFiles/drift_accel.dir/controller.cpp.o.d"
+  "/root/repo/src/accel/drift_accel.cpp" "src/accel/CMakeFiles/drift_accel.dir/drift_accel.cpp.o" "gcc" "src/accel/CMakeFiles/drift_accel.dir/drift_accel.cpp.o.d"
+  "/root/repo/src/accel/drq_accel.cpp" "src/accel/CMakeFiles/drift_accel.dir/drq_accel.cpp.o" "gcc" "src/accel/CMakeFiles/drift_accel.dir/drq_accel.cpp.o.d"
+  "/root/repo/src/accel/eyeriss.cpp" "src/accel/CMakeFiles/drift_accel.dir/eyeriss.cpp.o" "gcc" "src/accel/CMakeFiles/drift_accel.dir/eyeriss.cpp.o.d"
+  "/root/repo/src/accel/fabric.cpp" "src/accel/CMakeFiles/drift_accel.dir/fabric.cpp.o" "gcc" "src/accel/CMakeFiles/drift_accel.dir/fabric.cpp.o.d"
+  "/root/repo/src/accel/timeline.cpp" "src/accel/CMakeFiles/drift_accel.dir/timeline.cpp.o" "gcc" "src/accel/CMakeFiles/drift_accel.dir/timeline.cpp.o.d"
+  "/root/repo/src/accel/traffic.cpp" "src/accel/CMakeFiles/drift_accel.dir/traffic.cpp.o" "gcc" "src/accel/CMakeFiles/drift_accel.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/drift_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/drift_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/drift_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/drift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drift_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/drift_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_accel.dir/bitfusion.cpp.o"
+  "CMakeFiles/drift_accel.dir/bitfusion.cpp.o.d"
+  "CMakeFiles/drift_accel.dir/compare.cpp.o"
+  "CMakeFiles/drift_accel.dir/compare.cpp.o.d"
+  "CMakeFiles/drift_accel.dir/controller.cpp.o"
+  "CMakeFiles/drift_accel.dir/controller.cpp.o.d"
+  "CMakeFiles/drift_accel.dir/drift_accel.cpp.o"
+  "CMakeFiles/drift_accel.dir/drift_accel.cpp.o.d"
+  "CMakeFiles/drift_accel.dir/drq_accel.cpp.o"
+  "CMakeFiles/drift_accel.dir/drq_accel.cpp.o.d"
+  "CMakeFiles/drift_accel.dir/eyeriss.cpp.o"
+  "CMakeFiles/drift_accel.dir/eyeriss.cpp.o.d"
+  "CMakeFiles/drift_accel.dir/fabric.cpp.o"
+  "CMakeFiles/drift_accel.dir/fabric.cpp.o.d"
+  "CMakeFiles/drift_accel.dir/timeline.cpp.o"
+  "CMakeFiles/drift_accel.dir/timeline.cpp.o.d"
+  "CMakeFiles/drift_accel.dir/traffic.cpp.o"
+  "CMakeFiles/drift_accel.dir/traffic.cpp.o.d"
+  "libdrift_accel.a"
+  "libdrift_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

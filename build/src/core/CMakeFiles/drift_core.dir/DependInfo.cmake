@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytical_model.cpp" "src/core/CMakeFiles/drift_core.dir/analytical_model.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/analytical_model.cpp.o.d"
+  "/root/repo/src/core/capability.cpp" "src/core/CMakeFiles/drift_core.dir/capability.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/capability.cpp.o.d"
+  "/root/repo/src/core/drq_quantizer.cpp" "src/core/CMakeFiles/drift_core.dir/drq_quantizer.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/drq_quantizer.cpp.o.d"
+  "/root/repo/src/core/hessian.cpp" "src/core/CMakeFiles/drift_core.dir/hessian.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/hessian.cpp.o.d"
+  "/root/repo/src/core/layer_work.cpp" "src/core/CMakeFiles/drift_core.dir/layer_work.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/layer_work.cpp.o.d"
+  "/root/repo/src/core/noise_budget.cpp" "src/core/CMakeFiles/drift_core.dir/noise_budget.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/noise_budget.cpp.o.d"
+  "/root/repo/src/core/precision.cpp" "src/core/CMakeFiles/drift_core.dir/precision.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/precision.cpp.o.d"
+  "/root/repo/src/core/quantizer.cpp" "src/core/CMakeFiles/drift_core.dir/quantizer.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/quantizer.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/drift_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/core/CMakeFiles/drift_core.dir/selector.cpp.o" "gcc" "src/core/CMakeFiles/drift_core.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/drift_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

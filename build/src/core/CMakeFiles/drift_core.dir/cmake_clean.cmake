@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_core.dir/analytical_model.cpp.o"
+  "CMakeFiles/drift_core.dir/analytical_model.cpp.o.d"
+  "CMakeFiles/drift_core.dir/capability.cpp.o"
+  "CMakeFiles/drift_core.dir/capability.cpp.o.d"
+  "CMakeFiles/drift_core.dir/drq_quantizer.cpp.o"
+  "CMakeFiles/drift_core.dir/drq_quantizer.cpp.o.d"
+  "CMakeFiles/drift_core.dir/hessian.cpp.o"
+  "CMakeFiles/drift_core.dir/hessian.cpp.o.d"
+  "CMakeFiles/drift_core.dir/layer_work.cpp.o"
+  "CMakeFiles/drift_core.dir/layer_work.cpp.o.d"
+  "CMakeFiles/drift_core.dir/noise_budget.cpp.o"
+  "CMakeFiles/drift_core.dir/noise_budget.cpp.o.d"
+  "CMakeFiles/drift_core.dir/precision.cpp.o"
+  "CMakeFiles/drift_core.dir/precision.cpp.o.d"
+  "CMakeFiles/drift_core.dir/quantizer.cpp.o"
+  "CMakeFiles/drift_core.dir/quantizer.cpp.o.d"
+  "CMakeFiles/drift_core.dir/scheduler.cpp.o"
+  "CMakeFiles/drift_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/drift_core.dir/selector.cpp.o"
+  "CMakeFiles/drift_core.dir/selector.cpp.o.d"
+  "libdrift_core.a"
+  "libdrift_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_dram.dir/dram.cpp.o"
+  "CMakeFiles/drift_dram.dir/dram.cpp.o.d"
+  "libdrift_dram.a"
+  "libdrift_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

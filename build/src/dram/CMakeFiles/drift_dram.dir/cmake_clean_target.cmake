@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrift_dram.a"
+)

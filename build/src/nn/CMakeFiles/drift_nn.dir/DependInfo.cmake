@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/drift_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/drift_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/drift_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/drift_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/int_gemm.cpp" "src/nn/CMakeFiles/drift_nn.dir/int_gemm.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/int_gemm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/drift_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/drift_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/drift_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/drift_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/precision_mix.cpp" "src/nn/CMakeFiles/drift_nn.dir/precision_mix.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/precision_mix.cpp.o.d"
+  "/root/repo/src/nn/proxy.cpp" "src/nn/CMakeFiles/drift_nn.dir/proxy.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/proxy.cpp.o.d"
+  "/root/repo/src/nn/quant_engine.cpp" "src/nn/CMakeFiles/drift_nn.dir/quant_engine.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/quant_engine.cpp.o.d"
+  "/root/repo/src/nn/synthetic.cpp" "src/nn/CMakeFiles/drift_nn.dir/synthetic.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/synthetic.cpp.o.d"
+  "/root/repo/src/nn/workload.cpp" "src/nn/CMakeFiles/drift_nn.dir/workload.cpp.o" "gcc" "src/nn/CMakeFiles/drift_nn.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/drift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/drift_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_nn.dir/activations.cpp.o"
+  "CMakeFiles/drift_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/attention.cpp.o"
+  "CMakeFiles/drift_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/drift_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/gemm.cpp.o"
+  "CMakeFiles/drift_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/int_gemm.cpp.o"
+  "CMakeFiles/drift_nn.dir/int_gemm.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/linear.cpp.o"
+  "CMakeFiles/drift_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/model.cpp.o"
+  "CMakeFiles/drift_nn.dir/model.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/norm.cpp.o"
+  "CMakeFiles/drift_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/pooling.cpp.o"
+  "CMakeFiles/drift_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/precision_mix.cpp.o"
+  "CMakeFiles/drift_nn.dir/precision_mix.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/proxy.cpp.o"
+  "CMakeFiles/drift_nn.dir/proxy.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/quant_engine.cpp.o"
+  "CMakeFiles/drift_nn.dir/quant_engine.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/synthetic.cpp.o"
+  "CMakeFiles/drift_nn.dir/synthetic.cpp.o.d"
+  "CMakeFiles/drift_nn.dir/workload.cpp.o"
+  "CMakeFiles/drift_nn.dir/workload.cpp.o.d"
+  "libdrift_nn.a"
+  "libdrift_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_stats.dir/distribution.cpp.o"
+  "CMakeFiles/drift_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/drift_stats.dir/fit.cpp.o"
+  "CMakeFiles/drift_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/drift_stats.dir/histogram.cpp.o"
+  "CMakeFiles/drift_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/drift_stats.dir/summary.cpp.o"
+  "CMakeFiles/drift_stats.dir/summary.cpp.o.d"
+  "libdrift_stats.a"
+  "libdrift_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

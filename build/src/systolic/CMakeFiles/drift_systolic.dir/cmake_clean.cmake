@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_systolic.dir/cycle_sim.cpp.o"
+  "CMakeFiles/drift_systolic.dir/cycle_sim.cpp.o.d"
+  "CMakeFiles/drift_systolic.dir/stall_model.cpp.o"
+  "CMakeFiles/drift_systolic.dir/stall_model.cpp.o.d"
+  "libdrift_systolic.a"
+  "libdrift_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

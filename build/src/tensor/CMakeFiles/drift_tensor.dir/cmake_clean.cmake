@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_tensor.dir/shape.cpp.o"
+  "CMakeFiles/drift_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/drift_tensor.dir/subtensor.cpp.o"
+  "CMakeFiles/drift_tensor.dir/subtensor.cpp.o.d"
+  "libdrift_tensor.a"
+  "libdrift_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

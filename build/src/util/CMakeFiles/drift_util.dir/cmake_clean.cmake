@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_util.dir/args.cpp.o"
+  "CMakeFiles/drift_util.dir/args.cpp.o.d"
+  "CMakeFiles/drift_util.dir/csv.cpp.o"
+  "CMakeFiles/drift_util.dir/csv.cpp.o.d"
+  "CMakeFiles/drift_util.dir/logging.cpp.o"
+  "CMakeFiles/drift_util.dir/logging.cpp.o.d"
+  "CMakeFiles/drift_util.dir/table.cpp.o"
+  "CMakeFiles/drift_util.dir/table.cpp.o.d"
+  "libdrift_util.a"
+  "libdrift_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accel.cpp" "tests/CMakeFiles/drift_tests.dir/test_accel.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_accel.cpp.o.d"
+  "/root/repo/tests/test_args.cpp" "tests/CMakeFiles/drift_tests.dir/test_args.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_args.cpp.o.d"
+  "/root/repo/tests/test_compare.cpp" "tests/CMakeFiles/drift_tests.dir/test_compare.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_compare.cpp.o.d"
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/drift_tests.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/test_drq.cpp" "tests/CMakeFiles/drift_tests.dir/test_drq.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_drq.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/drift_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/drift_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_engine_auto.cpp" "tests/CMakeFiles/drift_tests.dir/test_engine_auto.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_engine_auto.cpp.o.d"
+  "/root/repo/tests/test_fabric.cpp" "tests/CMakeFiles/drift_tests.dir/test_fabric.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_fabric.cpp.o.d"
+  "/root/repo/tests/test_hessian.cpp" "tests/CMakeFiles/drift_tests.dir/test_hessian.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_hessian.cpp.o.d"
+  "/root/repo/tests/test_int_gemm.cpp" "tests/CMakeFiles/drift_tests.dir/test_int_gemm.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_int_gemm.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/drift_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/drift_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_noise_budget.cpp" "tests/CMakeFiles/drift_tests.dir/test_noise_budget.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_noise_budget.cpp.o.d"
+  "/root/repo/tests/test_proxy.cpp" "tests/CMakeFiles/drift_tests.dir/test_proxy.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_proxy.cpp.o.d"
+  "/root/repo/tests/test_quant_engine.cpp" "tests/CMakeFiles/drift_tests.dir/test_quant_engine.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_quant_engine.cpp.o.d"
+  "/root/repo/tests/test_quantizer.cpp" "tests/CMakeFiles/drift_tests.dir/test_quantizer.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_quantizer.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/drift_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_selector.cpp" "tests/CMakeFiles/drift_tests.dir/test_selector.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_selector.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/drift_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_systolic.cpp" "tests/CMakeFiles/drift_tests.dir/test_systolic.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_systolic.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/drift_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_timeline.cpp" "tests/CMakeFiles/drift_tests.dir/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_timeline.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/drift_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/drift_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/drift_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/drift_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/drift_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/drift_systolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/drift_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/drift_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/drift_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drift_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drift_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

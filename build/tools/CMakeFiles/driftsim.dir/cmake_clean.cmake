@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driftsim.dir/driftsim.cpp.o"
+  "CMakeFiles/driftsim.dir/driftsim.cpp.o.d"
+  "driftsim"
+  "driftsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driftsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
