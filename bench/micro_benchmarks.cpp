@@ -1,20 +1,42 @@
 // google-benchmark microbenchmarks for the performance-critical
 // components: the per-sub-tensor selector (runs on every tensor at
 // inference time), the online scheduler (runs per layer), the stall
-// models and the cycle-level simulation.
+// models and the cycle-level simulation — plus the single- vs
+// multi-thread GEMM / quantization kernel sweep that emits
+// BENCH_kernels.json (ops/s and speedup vs 1 thread) before the
+// google-benchmark suite runs.  DRIFT_BENCH_GEMM_SIZE overrides the
+// GEMM edge (default 1024); DRIFT_SKIP_KERNEL_SWEEP=1 skips the sweep.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "core/noise_budget.hpp"
 #include "core/scheduler.hpp"
 #include "core/selector.hpp"
 #include "dram/dram.hpp"
+#include "nn/gemm.hpp"
+#include "nn/int_gemm.hpp"
 #include "nn/synthetic.hpp"
 #include "systolic/cycle_sim.hpp"
 #include "systolic/stall_model.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace drift;
 
 namespace {
+
+TensorF laplace_matrix(std::int64_t rows, std::int64_t cols,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  TensorF t(Shape{rows, cols});
+  for (auto& v : t.data()) v = static_cast<float>(rng.laplace(0.05));
+  return t;
+}
 
 void BM_SelectPrecision(benchmark::State& state) {
   Rng rng(1);
@@ -110,6 +132,163 @@ void BM_DramStream(benchmark::State& state) {
 }
 BENCHMARK(BM_DramStream);
 
+// Thread-count-parameterized kernel benchmarks: the pool is resized to
+// state.range(0) threads for the duration of the run.
+void BM_MatmulThreads(benchmark::State& state) {
+  util::ThreadPool::instance().resize(static_cast<int>(state.range(0)));
+  const std::int64_t n = 256;
+  const TensorF a = laplace_matrix(n, n, 7);
+  const TensorF b = laplace_matrix(n, n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  util::ThreadPool::instance().resize(0);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_QuantizeRowsThreads(benchmark::State& state) {
+  util::ThreadPool::instance().resize(static_cast<int>(state.range(0)));
+  const TensorF x = laplace_matrix(2048, 768, 9);
+  const core::SelectorConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::quantize_rows(x, cfg, 0.05));
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+  util::ThreadPool::instance().resize(0);
+}
+BENCHMARK(BM_QuantizeRowsThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// ---------------------------------------------------------------------
+// Kernel sweep -> BENCH_kernels.json
+// ---------------------------------------------------------------------
+
+struct KernelResult {
+  std::string name;
+  std::string shape;
+  int threads = 1;
+  double seconds = 0.0;
+  double ops_per_s = 0.0;
+  double speedup_vs_1t = 1.0;
+};
+
+template <typename Fn>
+double best_seconds(Fn&& fn, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long long n = std::atoll(v);
+    if (n > 0) return static_cast<std::int64_t>(n);
+  }
+  return fallback;
+}
+
+void run_kernel_sweep() {
+  const std::int64_t gemm_n = env_int("DRIFT_BENCH_GEMM_SIZE", 1024);
+  const int default_threads = util::ThreadPool::default_num_threads();
+  std::vector<int> thread_counts{1};
+  for (int t : {2, 4}) {
+    if (t <= default_threads) thread_counts.push_back(t);
+  }
+  if (default_threads > 1 &&
+      default_threads != thread_counts.back()) {
+    thread_counts.push_back(default_threads);
+  }
+
+  const TensorF a = laplace_matrix(gemm_n, gemm_n, 101);
+  const TensorF b = laplace_matrix(gemm_n, gemm_n, 102);
+  const TensorF w = laplace_matrix(gemm_n, gemm_n, 103);
+  const std::int64_t qrows = env_int("DRIFT_BENCH_QUANT_ROWS", 8192);
+  const TensorF x = laplace_matrix(qrows, 768, 104);
+  const core::SelectorConfig cfg;
+
+  std::vector<KernelResult> results;
+  auto record = [&](const std::string& name, const std::string& shape,
+                    int threads, double seconds, double total_ops) {
+    KernelResult r;
+    r.name = name;
+    r.shape = shape;
+    r.threads = threads;
+    r.seconds = seconds;
+    r.ops_per_s = total_ops / seconds;
+    for (const auto& base : results) {
+      if (base.name == name && base.threads == 1) {
+        r.speedup_vs_1t = base.seconds / seconds;
+      }
+    }
+    results.push_back(r);
+    std::fprintf(stderr,
+                 "[kernels] %-14s %-18s threads=%d  %.3fs  %.3g ops/s  "
+                 "speedup=%.2fx\n",
+                 name.c_str(), shape.c_str(), threads, seconds, r.ops_per_s,
+                 r.speedup_vs_1t);
+  };
+
+  const std::string gemm_shape = std::to_string(gemm_n) + "x" +
+                                 std::to_string(gemm_n) + "x" +
+                                 std::to_string(gemm_n);
+  const double gemm_ops = 2.0 * static_cast<double>(gemm_n) *
+                          static_cast<double>(gemm_n) *
+                          static_cast<double>(gemm_n);
+  const std::string quant_shape =
+      std::to_string(qrows) + "x768";
+  for (int threads : thread_counts) {
+    util::ThreadPool::instance().resize(threads);
+    record("matmul", gemm_shape, threads,
+           best_seconds([&] { benchmark::DoNotOptimize(nn::matmul(a, b)); },
+                        2),
+           gemm_ops);
+    record("matmul_nt", gemm_shape, threads,
+           best_seconds(
+               [&] { benchmark::DoNotOptimize(nn::matmul_nt(a, w)); }, 2),
+           gemm_ops);
+    record("quantize_rows", quant_shape, threads,
+           best_seconds(
+               [&] { benchmark::DoNotOptimize(nn::quantize_rows(x, cfg, 0.05)); },
+               3),
+           static_cast<double>(x.numel()));
+  }
+  util::ThreadPool::instance().resize(0);
+
+  std::FILE* f = std::fopen("BENCH_kernels.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "[kernels] cannot open BENCH_kernels.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"default_threads\": %d,\n"
+               "  \"kernels\": [\n",
+               std::thread::hardware_concurrency(), default_threads);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
+                 "\"seconds\": %.6f, \"ops_per_s\": %.6g, "
+                 "\"speedup_vs_1t\": %.3f}%s\n",
+                 r.name.c_str(), r.shape.c_str(), r.threads, r.seconds,
+                 r.ops_per_s, r.speedup_vs_1t,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[kernels] wrote BENCH_kernels.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!std::getenv("DRIFT_SKIP_KERNEL_SWEEP")) run_kernel_sweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "core/capability.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drift::core {
 
@@ -26,9 +27,16 @@ SubTensorStats compute_stats(const SubTensorView& view,
 
 std::vector<SubTensorStats> compute_stats(
     const std::vector<SubTensorView>& views, std::span<const float> buffer) {
-  std::vector<SubTensorStats> stats;
-  stats.reserve(views.size());
-  for (const auto& v : views) stats.push_back(compute_stats(v, buffer));
+  // Per-sub-tensor max|Y| / avg|Y| extraction is independent per view;
+  // each chunk fills its own slots of the pre-sized result.
+  std::vector<SubTensorStats> stats(views.size());
+  const auto n = static_cast<std::int64_t>(views.size());
+  util::parallel_for(0, n, 16, [&](std::int64_t v0, std::int64_t v1) {
+    for (std::int64_t v = v0; v < v1; ++v) {
+      stats[static_cast<std::size_t>(v)] =
+          compute_stats(views[static_cast<std::size_t>(v)], buffer);
+    }
+  });
   return stats;
 }
 
@@ -131,15 +139,17 @@ PrecisionMap DynamicQuantizer::select(std::span<const float> values,
                                       const QuantParams& params) const {
   DRIFT_CHECK(params.bits == config_.hp,
               "quant params precision must match selector hp");
-  std::vector<PrecisionDecision> decisions;
-  std::vector<std::int64_t> sizes;
-  decisions.reserve(views.size());
-  sizes.reserve(views.size());
-  for (const auto& view : views) {
-    decisions.push_back(
-        select_precision(compute_stats(view, values), params, config_));
-    sizes.push_back(view.size());
-  }
+  std::vector<PrecisionDecision> decisions(views.size());
+  std::vector<std::int64_t> sizes(views.size());
+  const auto n = static_cast<std::int64_t>(views.size());
+  util::parallel_for(0, n, 16, [&](std::int64_t v0, std::int64_t v1) {
+    for (std::int64_t v = v0; v < v1; ++v) {
+      const auto& view = views[static_cast<std::size_t>(v)];
+      decisions[static_cast<std::size_t>(v)] =
+          select_precision(compute_stats(view, values), params, config_);
+      sizes[static_cast<std::size_t>(v)] = view.size();
+    }
+  });
   return PrecisionMap(std::move(decisions), std::move(sizes), config_);
 }
 
@@ -149,21 +159,31 @@ std::vector<float> DynamicQuantizer::apply(
   DRIFT_CHECK(views.size() == map.num_subtensors(),
               "view/map count mismatch");
   std::vector<float> out(values.size());
-  // Default: full-precision (hp) rendering everywhere.
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    out[i] = dequantize_value(quantize_value(values[i], params), params);
-  }
-  // Overwrite low-selected sub-tensors with their lp rendering.
-  for (std::size_t v = 0; v < views.size(); ++v) {
-    const PrecisionDecision& d = map.decision(v);
-    if (!d.use_low) continue;
-    std::span<float> out_span(out);
-    views[v].transform<float>(out_span, [&](float& x) {
-      const std::int32_t q = quantize_value(x, params);
-      const std::int32_t q_lp = convert_to_low(q, config_.lp, d.choice);
-      x = dequantize_low(q_lp, params, d.choice);
-    });
-  }
+  // Default: full-precision (hp) rendering everywhere (elementwise).
+  util::parallel_for(0, static_cast<std::int64_t>(values.size()), 4096,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      out[s] = dequantize_value(quantize_value(values[s], params), params);
+    }
+  });
+  // Overwrite low-selected sub-tensors with their lp rendering.  The
+  // partition_* views this is called with are pairwise disjoint, so
+  // chunks never write the same element.
+  const auto n = static_cast<std::int64_t>(views.size());
+  util::parallel_for(0, n, 16, [&](std::int64_t v0, std::int64_t v1) {
+    for (std::int64_t v = v0; v < v1; ++v) {
+      const PrecisionDecision& d = map.decision(static_cast<std::size_t>(v));
+      if (!d.use_low) continue;
+      std::span<float> out_span(out);
+      views[static_cast<std::size_t>(v)].transform<float>(
+          out_span, [&](float& x) {
+            const std::int32_t q = quantize_value(x, params);
+            const std::int32_t q_lp = convert_to_low(q, config_.lp, d.choice);
+            x = dequantize_low(q_lp, params, d.choice);
+          });
+    }
+  });
   return out;
 }
 

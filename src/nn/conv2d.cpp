@@ -4,6 +4,7 @@
 
 #include "nn/gemm.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drift::nn {
 
@@ -23,7 +24,10 @@ TensorF im2col(const TensorF& input, std::int64_t kh, std::int64_t kw,
   auto src = input.data();
   auto dst = out.data();
   const std::int64_t row_width = C * kh * kw;
-  for (std::int64_t oh = 0; oh < OH; ++oh) {
+  // Each output row `oh` owns the rows [oh*OW, (oh+1)*OW) of the
+  // lowered matrix, so parallelizing over oh writes disjoint slices.
+  util::parallel_for(0, OH, 8, [&](std::int64_t oh0, std::int64_t oh1) {
+  for (std::int64_t oh = oh0; oh < oh1; ++oh) {
     for (std::int64_t ow = 0; ow < OW; ++ow) {
       const std::int64_t row = oh * OW + ow;
       for (std::int64_t c = 0; c < C; ++c) {
@@ -41,6 +45,7 @@ TensorF im2col(const TensorF& input, std::int64_t kh, std::int64_t kw,
       }
     }
   }
+  });
   return out;
 }
 
@@ -88,16 +93,21 @@ TensorF Conv2d::forward(const TensorF& input, QuantEngine& engine) {
   engine.record(name_, OH * OW, in_channels_ * kernel_ * kernel_,
                 out_channels_, act.low_fraction, wgt.low_fraction_rows);
 
-  // [OH*OW, OC] -> [OC, OH, OW]
+  // [OH*OW, OC] -> [OC, OH, OW].  Parallel over channels: each chunk
+  // writes its own contiguous [c, :, :] planes.
   TensorF out(Shape{out_channels_, OH, OW});
   auto src = out2d.data();
   auto dst = out.data();
-  for (std::int64_t p = 0; p < OH * OW; ++p) {
-    for (std::int64_t c = 0; c < out_channels_; ++c) {
-      dst[static_cast<std::size_t>(c * OH * OW + p)] =
-          src[static_cast<std::size_t>(p * out_channels_ + c)];
+  const std::int64_t P = OH * OW;
+  util::parallel_for(0, out_channels_, 4,
+                     [&](std::int64_t c0, std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      float* plane = dst.data() + static_cast<std::size_t>(c * P);
+      for (std::int64_t p = 0; p < P; ++p) {
+        plane[p] = src[static_cast<std::size_t>(p * out_channels_ + c)];
+      }
     }
-  }
+  });
   return out;
 }
 

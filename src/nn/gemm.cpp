@@ -1,8 +1,25 @@
 #include "nn/gemm.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drift::nn {
+
+namespace {
+
+// Cache-blocking parameters.  kMc is also the parallel grain: output
+// rows are handed to the pool in fixed chunks of kMc, so the chunk
+// decomposition — and therefore every accumulation order — is
+// independent of the thread count.  Each chunk writes only its own
+// rows of C; no atomics, no sharing.
+constexpr std::int64_t kMc = 32;   ///< row chunk (parallel grain)
+constexpr std::int64_t kKc = 256;  ///< K block kept hot in L1/L2
+constexpr std::int64_t kNc = 128;  ///< column block of C accumulated in registers/L1
+
+}  // namespace
 
 TensorF matmul(const TensorF& a, const TensorF& b) {
   DRIFT_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
@@ -12,23 +29,47 @@ TensorF matmul(const TensorF& a, const TensorF& b) {
   DRIFT_CHECK(b.shape().dim(0) == K, "inner dimension mismatch");
   const std::int64_t N = b.shape().dim(1);
 
-  TensorF c(Shape{M, N}, 0.0f);
+  TensorF c(Shape{M, N});
   auto ad = a.data();
   auto bd = b.data();
   auto cd = c.data();
-  // i-k-j loop order streams B and C rows contiguously.
-  for (std::int64_t i = 0; i < M; ++i) {
-    for (std::int64_t k = 0; k < K; ++k) {
-      const float aik = ad[static_cast<std::size_t>(i * K + k)];
-      if (aik == 0.0f) continue;
-      const std::size_t boff = static_cast<std::size_t>(k * N);
-      const std::size_t coff = static_cast<std::size_t>(i * N);
-      for (std::int64_t j = 0; j < N; ++j) {
-        cd[coff + static_cast<std::size_t>(j)] +=
-            aik * bd[boff + static_cast<std::size_t>(j)];
+  util::parallel_for(0, M, kMc, [&](std::int64_t i0, std::int64_t i1) {
+    // Per-chunk double accumulator tile: (<=kMc) x (<=kNc).  Double
+    // accumulation in k-ascending order matches matmul_nt's policy and
+    // is fixed regardless of blocking or threading.
+    std::vector<double> acc(static_cast<std::size_t>(kMc * kNc));
+    for (std::int64_t jc = 0; jc < N; jc += kNc) {
+      const std::int64_t jend = std::min(jc + kNc, N);
+      const std::int64_t jw = jend - jc;
+      std::fill(acc.begin(),
+                acc.begin() + static_cast<std::size_t>((i1 - i0) * jw), 0.0);
+      for (std::int64_t kc = 0; kc < K; kc += kKc) {
+        const std::int64_t kend = std::min(kc + kKc, K);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          double* acc_row =
+              acc.data() + static_cast<std::size_t>((i - i0) * jw);
+          for (std::int64_t k = kc; k < kend; ++k) {
+            const float aik = ad[static_cast<std::size_t>(i * K + k)];
+            if (aik == 0.0f) continue;
+            const double av = static_cast<double>(aik);
+            const float* brow =
+                bd.data() + static_cast<std::size_t>(k * N + jc);
+            for (std::int64_t j = 0; j < jw; ++j) {
+              acc_row[j] += av * static_cast<double>(brow[j]);
+            }
+          }
+        }
+      }
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const double* acc_row =
+            acc.data() + static_cast<std::size_t>((i - i0) * jw);
+        float* crow = cd.data() + static_cast<std::size_t>(i * N + jc);
+        for (std::int64_t j = 0; j < jw; ++j) {
+          crow[j] = static_cast<float>(acc_row[j]);
+        }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -44,18 +85,20 @@ TensorF matmul_nt(const TensorF& a, const TensorF& w) {
   auto ad = a.data();
   auto wd = w.data();
   auto cd = c.data();
-  for (std::int64_t i = 0; i < M; ++i) {
-    const std::size_t aoff = static_cast<std::size_t>(i * K);
-    for (std::int64_t j = 0; j < N; ++j) {
-      const std::size_t woff = static_cast<std::size_t>(j * K);
-      double acc = 0.0;
-      for (std::int64_t k = 0; k < K; ++k) {
-        acc += static_cast<double>(ad[aoff + static_cast<std::size_t>(k)]) *
-               static_cast<double>(wd[woff + static_cast<std::size_t>(k)]);
+  util::parallel_for(0, M, kMc, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* arow = ad.data() + static_cast<std::size_t>(i * K);
+      float* crow = cd.data() + static_cast<std::size_t>(i * N);
+      for (std::int64_t j = 0; j < N; ++j) {
+        const float* wrow = wd.data() + static_cast<std::size_t>(j * K);
+        double acc = 0.0;
+        for (std::int64_t k = 0; k < K; ++k) {
+          acc += static_cast<double>(arow[k]) * static_cast<double>(wrow[k]);
+        }
+        crow[j] = static_cast<float>(acc);
       }
-      cd[static_cast<std::size_t>(i * N + j)] = static_cast<float>(acc);
     }
-  }
+  });
   return c;
 }
 
@@ -68,12 +111,14 @@ void add_bias(TensorF& c, const TensorF& bias) {
   const std::int64_t N = c.shape().dim(1);
   auto cd = c.data();
   auto bd = bias.data();
-  for (std::int64_t i = 0; i < M; ++i) {
-    for (std::int64_t j = 0; j < N; ++j) {
-      cd[static_cast<std::size_t>(i * N + j)] +=
-          bd[static_cast<std::size_t>(j)];
+  util::parallel_for(0, M, kMc, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      float* crow = cd.data() + static_cast<std::size_t>(i * N);
+      for (std::int64_t j = 0; j < N; ++j) {
+        crow[j] += bd[static_cast<std::size_t>(j)];
+      }
     }
-  }
+  });
 }
 
 }  // namespace drift::nn

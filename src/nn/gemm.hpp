@@ -1,8 +1,12 @@
 // Dense float GEMM used by the functional (accuracy) simulation path.
 //
 // The hardware benches never execute this — they consume GEMM *shapes*
-// through the analytical/cycle models — so a simple cache-blocked
-// implementation is all the accuracy proxies need.
+// through the analytical/cycle models — so a cache-blocked
+// implementation is all the accuracy proxies need.  Both kernels are
+// parallelized over output rows on the global thread pool
+// (util/thread_pool.hpp) with fixed chunk boundaries and double
+// per-tile accumulation, so results are bit-identical at any thread
+// count and across the matmul / matmul_nt call paths.
 #pragma once
 
 #include "tensor/tensor.hpp"

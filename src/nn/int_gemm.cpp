@@ -2,6 +2,7 @@
 
 #include "core/noise_budget.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drift::nn {
 
@@ -38,14 +39,17 @@ QuantizedOperand quantize_rows(const TensorF& x,
                                                config, noise_budget);
   op.rows = std::move(selection.decisions);
 
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const auto& d = op.rows[static_cast<std::size_t>(r)];
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const std::int32_t q = core::quantize_value(x(r, c), op.params);
-      op.codes(r, c) =
-          d.use_low ? core::convert_to_low(q, config.lp, d.choice) : q;
+  // hi->lo code conversion is independent per row (per sub-tensor).
+  util::parallel_for(0, rows, 16, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const auto& d = op.rows[static_cast<std::size_t>(r)];
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const std::int32_t q = core::quantize_value(x(r, c), op.params);
+        op.codes(r, c) =
+            d.use_low ? core::convert_to_low(q, config.lp, d.choice) : q;
+      }
     }
-  }
+  });
   return op;
 }
 
@@ -53,12 +57,14 @@ TensorF dequantize_operand(const QuantizedOperand& op) {
   const std::int64_t rows = op.codes.shape().dim(0);
   const std::int64_t cols = op.codes.shape().dim(1);
   TensorF out(op.codes.shape());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const double scale = op.row_scale(r);
-    for (std::int64_t c = 0; c < cols; ++c) {
-      out(r, c) = static_cast<float>(op.codes(r, c) * scale);
+  util::parallel_for(0, rows, 16, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const double scale = op.row_scale(r);
+      for (std::int64_t c = 0; c < cols; ++c) {
+        out(r, c) = static_cast<float>(op.codes(r, c) * scale);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -70,20 +76,24 @@ TensorF int_gemm_nt(const QuantizedOperand& act,
   const std::int64_t N = wgt.codes.shape().dim(0);
 
   TensorF out(Shape{M, N});
-  for (std::int64_t i = 0; i < M; ++i) {
-    const double act_scale = act.row_scale(i);
-    for (std::int64_t j = 0; j < N; ++j) {
-      // Pure integer multiply-accumulate, as the BitBrick array does.
-      std::int64_t acc = 0;
-      for (std::int64_t k = 0; k < K; ++k) {
-        acc += static_cast<std::int64_t>(act.codes(i, k)) *
-               static_cast<std::int64_t>(wgt.codes(j, k));
+  // Integer accumulation is exact, so any chunking is bit-identical;
+  // rows of `out` are disjoint per chunk.
+  util::parallel_for(0, M, 8, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const double act_scale = act.row_scale(i);
+      for (std::int64_t j = 0; j < N; ++j) {
+        // Pure integer multiply-accumulate, as the BitBrick array does.
+        std::int64_t acc = 0;
+        for (std::int64_t k = 0; k < K; ++k) {
+          acc += static_cast<std::int64_t>(act.codes(i, k)) *
+                 static_cast<std::int64_t>(wgt.codes(j, k));
+        }
+        // One rescale per output (the psum exit multiplier).
+        out(i, j) = static_cast<float>(static_cast<double>(acc) * act_scale *
+                                       wgt.row_scale(j));
       }
-      // One rescale per output (the psum exit multiplier).
-      out(i, j) = static_cast<float>(static_cast<double>(acc) * act_scale *
-                                     wgt.row_scale(j));
     }
-  }
+  });
   return out;
 }
 

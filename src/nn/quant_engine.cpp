@@ -2,8 +2,30 @@
 
 #include "core/noise_budget.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drift::nn {
+
+namespace {
+
+// Per-tensor static INT8 rendering (elementwise, embarrassingly
+// parallel).
+TensorF render_static_int8(const TensorF& x, const core::QuantParams& params) {
+  TensorF out(x.shape());
+  auto src = x.data();
+  auto dst = out.data();
+  util::parallel_for(0, static_cast<std::int64_t>(src.size()), 4096,
+                     [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const auto s = static_cast<std::size_t>(i);
+      dst[s] = core::dequantize_value(core::quantize_value(src[s], params),
+                                      params);
+    }
+  });
+  return out;
+}
+
+}  // namespace
 
 std::string to_string(QuantMode mode) {
   switch (mode) {
@@ -26,14 +48,7 @@ OperandResult QuantEngine::process_with_views(
     case QuantMode::kStaticInt8: {
       const auto params =
           core::compute_quant_params(x.data(), config_.drift.hp);
-      TensorF out(x.shape());
-      auto src = x.data();
-      auto dst = out.data();
-      for (std::size_t i = 0; i < src.size(); ++i) {
-        dst[i] = core::dequantize_value(core::quantize_value(src[i], params),
-                                        params);
-      }
-      result.effective = std::move(out);
+      result.effective = render_static_int8(x, params);
       return result;
     }
     case QuantMode::kDrq: {
@@ -95,15 +110,8 @@ OperandResult QuantEngine::process_weight(const TensorF& w) const {
   // INT8, DRQ, and Drift-without-dynamic-weights all render weights as
   // static per-tensor INT8.
   const auto params = core::compute_quant_params(w.data(), config_.drift.hp);
-  TensorF out(w.shape());
-  auto src = w.data();
-  auto dst = out.data();
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    dst[i] =
-        core::dequantize_value(core::quantize_value(src[i], params), params);
-  }
   OperandResult r;
-  r.effective = std::move(out);
+  r.effective = render_static_int8(w, params);
   return r;
 }
 

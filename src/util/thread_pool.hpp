@@ -1,0 +1,97 @@
+// Chunk-based thread pool for data-parallel loops.
+//
+// Drift's hot paths are embarrassingly parallel along sub-tensor
+// boundaries (rows of a GEMM operand, regions of a feature map), so a
+// work-stealing scheduler would be overkill: a fixed decomposition into
+// chunks of `grain` iterations, claimed by workers off a shared atomic
+// counter, keeps the implementation tiny and — crucially — makes results
+// *bit-identical at any thread count*: chunk boundaries depend only on
+// (begin, end, grain), never on how many threads happen to execute them,
+// and every chunk writes a disjoint slice of the output.
+//
+// Thread count: DRIFT_NUM_THREADS env var if set (and >= 1), otherwise
+// std::thread::hardware_concurrency().  Tests and benchmarks override it
+// at runtime with ThreadPool::instance().resize(n).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace drift::util {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool used by drift::util::parallel_for.
+  static ThreadPool& instance();
+
+  /// `num_threads` <= 0 means default_num_threads().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Joins the current workers and restarts the pool with `n` threads
+  /// (<= 0 means default_num_threads()).  Not safe to call concurrently
+  /// with parallel_for.
+  void resize(int n);
+
+  /// DRIFT_NUM_THREADS env override, else hardware_concurrency().
+  static int default_num_threads();
+
+  /// Runs fn(chunk_begin, chunk_end) for every chunk of the fixed
+  /// decomposition of [begin, end) into pieces of `grain` iterations
+  /// (the last chunk may be short).  Blocks until all chunks are done.
+  /// The calling thread participates.  The first exception thrown by
+  /// any chunk is rethrown here (remaining unclaimed chunks are
+  /// cancelled).  Calls from inside a worker run the chunks inline on
+  /// the calling thread, so nested submission cannot deadlock.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  struct Job {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t grain = 1;
+    std::int64_t num_chunks = 0;
+    std::atomic<std::int64_t> next_chunk{0};
+    std::atomic<std::int64_t> chunks_done{0};
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  };
+
+  void start_workers(int n);
+  void stop_workers();
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mutex_;           ///< serializes concurrent submitters
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< wakes workers when a job arrives
+  std::condition_variable done_cv_;   ///< wakes the caller on completion
+  Job* job_ = nullptr;                ///< currently published job (or null)
+  std::uint64_t job_epoch_ = 0;       ///< bumped per job so workers re-check
+  int active_workers_ = 0;            ///< workers currently inside run_chunks
+  bool shutdown_ = false;
+};
+
+/// parallel_for on the global pool.  Serial fallback (plain loop over
+/// one chunk) when the range fits in a single chunk or the pool has one
+/// thread — same chunk boundaries, same results.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace drift::util

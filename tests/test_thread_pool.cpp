@@ -1,0 +1,251 @@
+// ThreadPool semantics (chunking, exceptions, nesting) and the
+// determinism guarantee of the parallel kernels: outputs must be
+// bit-identical to the serial (1-thread) path at every thread count,
+// because chunk boundaries are fixed by the grain, never by the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "nn/int_gemm.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace drift;
+using util::ThreadPool;
+
+namespace {
+
+/// Restores the global pool's thread count on scope exit.
+class PoolSizeGuard {
+ public:
+  PoolSizeGuard() : saved_(ThreadPool::instance().num_threads()) {}
+  ~PoolSizeGuard() { ThreadPool::instance().resize(saved_); }
+
+ private:
+  int saved_;
+};
+
+TensorF laplace_tensor(std::int64_t rows, std::int64_t cols,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  TensorF t(Shape{rows, cols});
+  auto d = t.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    // Heavy-tailed per-row scale spread, as the paper's Figure 1 shows.
+    const double b = 0.02 * std::exp(rng.normal(0.0, 0.8));
+    for (std::int64_t c = 0; c < cols; ++c) {
+      d[static_cast<std::size_t>(r * cols + c)] =
+          static_cast<float>(rng.laplace(b));
+    }
+  }
+  return t;
+}
+
+bool bit_identical(const TensorF& a, const TensorF& b) {
+  if (a.numel() != b.numel()) return false;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(float)) == 0;
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  util::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  util::parallel_for(7, 3, 2, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
+  std::atomic<int> calls{0};
+  std::int64_t lo = -1, hi = -1;
+  util::parallel_for(2, 9, 100, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    lo = b;
+    hi = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(lo, 2);
+  EXPECT_EQ(hi, 9);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  PoolSizeGuard guard;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::instance().resize(threads);
+    const std::int64_t n = 1000;
+    std::vector<int> touched(static_cast<std::size_t>(n), 0);
+    util::parallel_for(0, n, 7, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        ++touched[static_cast<std::size_t>(i)];
+      }
+    });
+    EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), n)
+        << "threads=" << threads;
+    for (int t : touched) EXPECT_EQ(t, 1);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  PoolSizeGuard guard;
+  for (int threads : {1, 4}) {
+    ThreadPool::instance().resize(threads);
+    EXPECT_THROW(
+        util::parallel_for(0, 100, 5,
+                           [&](std::int64_t b, std::int64_t) {
+                             if (b >= 50) throw std::runtime_error("boom");
+                           }),
+        std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<std::int64_t> sum{0};
+    util::parallel_for(0, 10, 2, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) sum += i;
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPoolTest, NestedSubmitRunsWithoutDeadlock) {
+  PoolSizeGuard guard;
+  ThreadPool::instance().resize(4);
+  const std::int64_t outer = 16, inner = 64;
+  std::vector<std::int64_t> row_sums(static_cast<std::size_t>(outer), 0);
+  util::parallel_for(0, outer, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      std::int64_t local = 0;
+      util::parallel_for(0, inner, 8, [&](std::int64_t jb, std::int64_t je) {
+        for (std::int64_t j = jb; j < je; ++j) local += j;
+      });
+      row_sums[static_cast<std::size_t>(i)] = local;
+    }
+  });
+  for (std::int64_t s : row_sums) EXPECT_EQ(s, inner * (inner - 1) / 2);
+}
+
+TEST(ThreadPoolTest, EnvOverrideControlsDefault) {
+  char* old = std::getenv("DRIFT_NUM_THREADS");
+  std::string saved = old ? old : "";
+  setenv("DRIFT_NUM_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_num_threads(), 3);
+  setenv("DRIFT_NUM_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::default_num_threads(), 1);
+  if (old) {
+    setenv("DRIFT_NUM_THREADS", saved.c_str(), 1);
+  } else {
+    unsetenv("DRIFT_NUM_THREADS");
+  }
+}
+
+TEST(ThreadPoolTest, ResizeChangesThreadCount) {
+  PoolSizeGuard guard;
+  ThreadPool::instance().resize(2);
+  EXPECT_EQ(ThreadPool::instance().num_threads(), 2);
+  ThreadPool::instance().resize(5);
+  EXPECT_EQ(ThreadPool::instance().num_threads(), 5);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: parallel results are bit-identical to serial at 1/2/8
+// threads on random Laplace-distributed tensors.
+// ---------------------------------------------------------------------
+
+TEST(ParallelDeterminism, MatmulBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  const TensorF a = laplace_tensor(93, 177, 11);
+  TensorF b = laplace_tensor(177, 61, 12);
+  ThreadPool::instance().resize(1);
+  const TensorF ref = nn::matmul(a, b);
+  for (int threads : {2, 8}) {
+    ThreadPool::instance().resize(threads);
+    EXPECT_TRUE(bit_identical(ref, nn::matmul(a, b)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, MatmulNtBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  const TensorF a = laplace_tensor(93, 177, 21);
+  const TensorF w = laplace_tensor(61, 177, 22);
+  ThreadPool::instance().resize(1);
+  const TensorF ref = nn::matmul_nt(a, w);
+  for (int threads : {2, 8}) {
+    ThreadPool::instance().resize(threads);
+    EXPECT_TRUE(bit_identical(ref, nn::matmul_nt(a, w)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, MatmulAndMatmulNtAgree) {
+  // Satellite: both kernels use the same double-accumulation policy, so
+  // C = A*B and C = A*(B^T)^T must agree bit-for-bit (same k order).
+  const TensorF a = laplace_tensor(37, 129, 31);
+  const TensorF b = laplace_tensor(129, 43, 32);
+  TensorF bt(Shape{43, 129});
+  for (std::int64_t i = 0; i < 129; ++i) {
+    for (std::int64_t j = 0; j < 43; ++j) bt(j, i) = b(i, j);
+  }
+  EXPECT_TRUE(bit_identical(nn::matmul(a, b), nn::matmul_nt(a, bt)));
+}
+
+TEST(ParallelDeterminism, QuantizeRowsBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  const TensorF x = laplace_tensor(257, 96, 41);
+  core::SelectorConfig cfg;
+  ThreadPool::instance().resize(1);
+  const nn::QuantizedOperand ref = nn::quantize_rows(x, cfg, 0.05);
+  for (int threads : {2, 8}) {
+    ThreadPool::instance().resize(threads);
+    const nn::QuantizedOperand got = nn::quantize_rows(x, cfg, 0.05);
+    ASSERT_EQ(ref.rows.size(), got.rows.size());
+    for (std::size_t r = 0; r < ref.rows.size(); ++r) {
+      EXPECT_EQ(ref.rows[r].use_low, got.rows[r].use_low);
+      EXPECT_EQ(ref.rows[r].choice.hc, got.rows[r].choice.hc);
+      EXPECT_EQ(ref.rows[r].choice.lc, got.rows[r].choice.lc);
+    }
+    EXPECT_EQ(0, std::memcmp(ref.codes.data().data(),
+                             got.codes.data().data(),
+                             ref.codes.data().size() * sizeof(std::int32_t)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, IntGemmBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  const TensorF a = laplace_tensor(65, 96, 51);
+  const TensorF w = laplace_tensor(33, 96, 52);
+  core::SelectorConfig cfg;
+  ThreadPool::instance().resize(1);
+  const auto qa = nn::quantize_rows(a, cfg, 0.05);
+  const auto qw = nn::quantize_rows(w, cfg, 0.05);
+  const TensorF ref = nn::int_gemm_nt(qa, qw);
+  for (int threads : {2, 8}) {
+    ThreadPool::instance().resize(threads);
+    EXPECT_TRUE(bit_identical(ref, nn::int_gemm_nt(qa, qw)))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminism, Im2colConvPathBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  Rng rng(61);
+  TensorF input(Shape{8, 19, 17});
+  for (auto& v : input.data()) v = static_cast<float>(rng.laplace(0.05));
+  const TensorF w = laplace_tensor(12, 8 * 3 * 3, 62);
+  ThreadPool::instance().resize(1);
+  const TensorF lowered_ref = nn::im2col(input, 3, 3, 2, 1);
+  const TensorF ref = nn::matmul_nt(lowered_ref, w);
+  for (int threads : {2, 8}) {
+    ThreadPool::instance().resize(threads);
+    const TensorF lowered = nn::im2col(input, 3, 3, 2, 1);
+    EXPECT_TRUE(bit_identical(lowered_ref, lowered)) << "threads=" << threads;
+    EXPECT_TRUE(bit_identical(ref, nn::matmul_nt(lowered, w)))
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
