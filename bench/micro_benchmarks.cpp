@@ -4,8 +4,11 @@
 // models and the cycle-level simulation — plus the single- vs
 // multi-thread GEMM / quantization kernel sweep that emits
 // BENCH_kernels.json (ops/s and speedup vs 1 thread) before the
-// google-benchmark suite runs.  DRIFT_BENCH_GEMM_SIZE overrides the
-// GEMM edge (default 1024); DRIFT_SKIP_KERNEL_SWEEP=1 skips the sweep.
+// google-benchmark suite runs.  The JSON also records the runtime of
+// the fixed-seed property-test corpus (the differential suites behind
+// `ctest -L prop`), so oracle-check cost is tracked alongside kernel
+// throughput.  DRIFT_BENCH_GEMM_SIZE overrides the GEMM edge (default
+// 1024); DRIFT_SKIP_KERNEL_SWEEP=1 skips the sweep.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -22,6 +25,10 @@
 #include "nn/gemm.hpp"
 #include "nn/int_gemm.hpp"
 #include "nn/synthetic.hpp"
+#include "proptest/proptest.hpp"
+#include "ref/ref_kernels.hpp"
+#include "ref/ref_oracles.hpp"
+#include "ref/ref_quant.hpp"
 #include "systolic/cycle_sim.hpp"
 #include "systolic/stall_model.hpp"
 #include "util/thread_pool.hpp"
@@ -160,6 +167,97 @@ void BM_QuantizeRowsThreads(benchmark::State& state) {
 BENCHMARK(BM_QuantizeRowsThreads)->Arg(1)->Arg(2)->Arg(4);
 
 // ---------------------------------------------------------------------
+// Property-test corpus timing -> BENCH_kernels.json "proptest_corpus"
+// ---------------------------------------------------------------------
+//
+// Runs the same differential corpora as `ctest -L prop` (production
+// code vs. the src/ref oracles) at a *fixed* seed and iteration count —
+// deliberately independent of the DRIFT_PROPTEST_* environment so the
+// recorded runtimes are comparable across machines and commits.  Any
+// mismatch makes the binary exit non-zero.
+
+struct CorpusResult {
+  std::string name;
+  int cases = 0;
+  double seconds = 0.0;
+  int mismatches = 0;
+};
+
+std::vector<CorpusResult> run_proptest_corpus() {
+  proptest::Config cfg;  // fixed defaults: 128 cases, seed 0xD21F7
+  std::vector<CorpusResult> results;
+
+  const auto timed = [&](const char* name, auto&& prop) {
+    CorpusResult r;
+    r.name = name;
+    const auto t0 = std::chrono::steady_clock::now();
+    const proptest::RunReport rep = proptest::run_property(name, prop, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.cases = rep.cases_run;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.mismatches = rep.passed ? 0 : 1;
+    if (!rep.passed) {
+      std::fprintf(stderr, "[proptest] %s MISMATCH: %s\n  %s\n", name,
+                   rep.message.c_str(), rep.repro.c_str());
+    }
+    std::fprintf(stderr, "[proptest] %-26s %4d cases  %.3fs  %s\n", name,
+                 r.cases, r.seconds, rep.passed ? "ok" : "MISMATCH");
+    results.push_back(r);
+  };
+
+  timed("matmul_vs_ref", [](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t m = proptest::gen_dim(rng, size);
+    const std::int64_t k = proptest::gen_dim(rng, size);
+    const std::int64_t n = proptest::gen_dim(rng, size);
+    const TensorF a(Shape{m, k}, proptest::gen_laplace_buffer(rng, m * k, 0.5));
+    const TensorF b(Shape{k, n}, proptest::gen_laplace_buffer(rng, k * n, 0.5));
+    const TensorF got = nn::matmul(a, b);
+    const TensorF want = ref::matmul(a, b);
+    for (std::int64_t i = 0; i < got.numel(); ++i) {
+      if (got.at(i) != want.at(i)) return proptest::fail("flat ", i);
+    }
+    return proptest::pass();
+  });
+
+  timed("selector_vs_bruteforce", [](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t n = 4 * proptest::gen_dim(rng, size);
+    const auto values = proptest::gen_laplace_buffer(rng, n, 0.5);
+    const core::SelectorConfig cfg = proptest::gen_selector_config(rng);
+    const core::QuantParams params =
+        core::compute_quant_params(values, cfg.hp);
+    const core::PrecisionDecision d =
+        core::select_precision(ref::stats(values), params, cfg);
+    const ref::RenderingOracle oracle =
+        ref::brute_force_rendering(values, params, cfg.lp);
+    if (oracle.eq5_hc < 0) {
+      if (d.use_low) return proptest::fail("infeasible but went low");
+    } else if (d.choice.hc != oracle.eq5_hc) {
+      return proptest::fail("hc ", d.choice.hc, " vs ", oracle.eq5_hc);
+    }
+    return proptest::pass();
+  });
+
+  timed("scheduler_vs_exhaustive", [](Rng& rng, int size) -> proptest::Result {
+    core::LayerWork w = proptest::gen_layer_work(rng, size);
+    const std::int64_t row_lo = (w.m_high > 0 && w.m_low > 0) ? 2 : 1;
+    const std::int64_t col_lo = (w.n_high > 0 && w.n_low > 0) ? 2 : 1;
+    const core::ArrayDims total{proptest::gen_dim(rng, size, row_lo),
+                                proptest::gen_dim(rng, size, col_lo)};
+    const core::SplitDecision g = core::schedule_greedy(w, total);
+    const ref::SplitOracle o = ref::exhaustive_split(w, total);
+    if (g.makespan < o.best_makespan) return proptest::fail("beat oracle");
+    if (o.best_makespan > 0 &&
+        static_cast<double>(g.makespan) >
+            1.5 * static_cast<double>(o.best_makespan)) {
+      return proptest::fail("gap above 1.5x");
+    }
+    return proptest::pass();
+  });
+
+  return results;
+}
+
+// ---------------------------------------------------------------------
 // Kernel sweep -> BENCH_kernels.json
 // ---------------------------------------------------------------------
 
@@ -192,7 +290,7 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return fallback;
 }
 
-void run_kernel_sweep() {
+void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
   const std::int64_t gemm_n = env_int("DRIFT_BENCH_GEMM_SIZE", 1024);
   const int default_threads = util::ThreadPool::default_num_threads();
   std::vector<int> thread_counts{1};
@@ -265,8 +363,17 @@ void run_kernel_sweep() {
     return;
   }
   std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"default_threads\": %d,\n"
-               "  \"kernels\": [\n",
+               "  \"proptest_corpus\": [\n",
                std::thread::hardware_concurrency(), default_threads);
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    const auto& c = corpus[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"cases\": %d, \"seconds\": %.6f, "
+                 "\"mismatches\": %d}%s\n",
+                 c.name.c_str(), c.cases, c.seconds, c.mismatches,
+                 i + 1 < corpus.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"kernels\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(f,
@@ -285,10 +392,15 @@ void run_kernel_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!std::getenv("DRIFT_SKIP_KERNEL_SWEEP")) run_kernel_sweep();
+  // The differential corpus always runs (it doubles as a smoke test of
+  // the oracles); mismatches fail the binary after the benchmarks.
+  const std::vector<CorpusResult> corpus = run_proptest_corpus();
+  int corpus_mismatches = 0;
+  for (const auto& c : corpus) corpus_mismatches += c.mismatches;
+  if (!std::getenv("DRIFT_SKIP_KERNEL_SWEEP")) run_kernel_sweep(corpus);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return corpus_mismatches > 0 ? 1 : 0;
 }

@@ -53,26 +53,25 @@ PrecisionDecision select_precision(const SubTensorStats& stats,
   }
 
   // Step 1 (Equation 5): the largest hc whose representation range
-  // still covers max(|Y|):  hc = floor(log2(max_level(hp)*Δ / max|Y|)).
-  const double full_range = static_cast<double>(config.hp.max_level()) *
-                            params.delta;
-  int hc = 0;
-  if (full_range > stats.max_abs) {
-    hc = static_cast<int>(std::floor(std::log2(full_range / stats.max_abs)));
-  }
-  hc = std::clamp(hc, 0, clip_total);
-  // Equation 5 uses the paper's RR = (2^(hp-1)-1)/2^hc * Δ, which is a
-  // whisker optimistic: the lp rendering actually tops out at
-  // (2^(lp-1)-1) * 2^lc * Δ (e.g. 112Δ, not 127Δ, for 8->4 with lc=4).
-  // The hardware comparator applies the exact bound, so we lower hc
-  // until the rendering truly covers max(|Y|) — and fall back to high
-  // precision for sub-tensors that span the full tensor range, which
-  // no 4-bit rendering can hold without clamping.
+  // still covers max(|Y|).  Equation 5's closed form
+  // hc = floor(log2(max_level(hp)*Δ / max|Y|)) is a whisker optimistic
+  // twice over: the paper's RR = (2^(hp-1)-1)/2^hc * Δ exceeds what the
+  // lp rendering actually tops out at, (2^(lp-1)-1) * 2^lc * Δ (112Δ,
+  // not 127Δ, for 8->4 with lc=4), and the floating-point log2 can land
+  // an ulp below an integer when max(|Y|) sits exactly on an RR
+  // boundary, silently losing one bit of clip (and therefore one bit of
+  // resolution) for near-full-width lp.  The hardware comparator
+  // applies the exact bound, so we search hc directly: the range is
+  // monotone decreasing in hc, making the feasible set a prefix — take
+  // its largest element, or fall back to high precision for
+  // sub-tensors that span the full tensor range, which no lp rendering
+  // can hold without clamping.
   auto exact_range = [&](int hc_candidate) {
     const int lc = clip_total - hc_candidate;
     return static_cast<double>(config.lp.max_level()) *
            static_cast<double>(std::int64_t{1} << lc) * params.delta;
   };
+  int hc = clip_total;
   while (hc > 0 && exact_range(hc) < stats.max_abs) --hc;
   if (exact_range(hc) < stats.max_abs) {
     return PrecisionDecision{false, ConversionChoice{0, clip_total}};

@@ -1,0 +1,44 @@
+// Naive scalar reference kernels for differential testing.
+//
+// Every function here is a deliberately simple re-implementation of a
+// production kernel in src/nn, written without blocking, threading, or
+// layout tricks, so the two can be compared *bit-exactly*: the
+// production GEMMs fix their accumulation policy (double accumulator,
+// k-ascending order) independent of blocking and thread count, and
+// these references follow the same policy in the plainest possible
+// loop nest.  Any divergence is a bug in one of the two.
+//
+// Nothing in src/ links against this library; it exists for tests/
+// and bench/ only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace drift::ref {
+
+/// C[M,N] = A[M,K] * B[K,N].  Double accumulation, k ascending.
+TensorF matmul(const TensorF& a, const TensorF& b);
+
+/// C[M,N] = A[M,K] * W[N,K]^T (output-major weights).
+TensorF matmul_nt(const TensorF& a, const TensorF& w);
+
+/// Direct (no im2col) convolution of input [C, H, W] with im2col-ready
+/// weights [OC, C*kh*kw] and bias [OC], producing [OC, OH, OW].  The
+/// inner reduction runs in the exact k-order of the lowered GEMM, so
+/// the result is bit-identical to im2col + matmul_nt + add_bias +
+/// transpose.
+TensorF conv2d(const TensorF& input, const TensorF& weight,
+               const TensorF& bias, std::int64_t kh, std::int64_t kw,
+               std::int64_t stride, std::int64_t pad);
+
+/// Integer GEMM with per-row rescaling: out[i,j] =
+/// float(double(sum_k act[i,k]*wgt[j,k]) * act_scale[i] * wgt_scale[j]),
+/// the formula the BitGroup array's psum-exit multiplier applies.
+TensorF int_gemm_nt(const TensorI32& act_codes, const TensorI32& wgt_codes,
+                    const std::vector<double>& act_row_scale,
+                    const std::vector<double>& wgt_row_scale);
+
+}  // namespace drift::ref

@@ -1,0 +1,121 @@
+#include "ref/ref_oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/analytical_model.hpp"
+#include "ref/ref_quant.hpp"
+#include "util/assert.hpp"
+
+namespace drift::ref {
+
+std::int64_t eq7_repetitions(std::int64_t K, std::int64_t N, int pa, int pw,
+                             std::int64_t R, std::int64_t C) {
+  DRIFT_CHECK(pa > 0 && pw > 0, "precisions must be positive");
+  if (K == 0 || N == 0) return 0;
+  if (R <= 0 || C <= 0) return core::kInfeasibleLatency;
+  const std::int64_t ka = static_cast<std::int64_t>(pa) * K;
+  const std::int64_t nw = static_cast<std::int64_t>(pw) * N;
+  const std::int64_t k_tiles = ka / (4 * R) + (ka % (4 * R) != 0 ? 1 : 0);
+  const std::int64_t n_tiles = nw / (16 * C) + (nw % (16 * C) != 0 ? 1 : 0);
+  return k_tiles * n_tiles;
+}
+
+std::int64_t eq7_cycles(std::int64_t M, std::int64_t K, std::int64_t N,
+                        int pa, int pw, std::int64_t R, std::int64_t C) {
+  if (M == 0 || K == 0 || N == 0) return 0;
+  if (R <= 0 || C <= 0) return core::kInfeasibleLatency;
+  const std::int64_t per_tile = R + (M + R + C - 2);
+  return per_tile * eq7_repetitions(K, N, pa, pw, R, C);
+}
+
+SplitOracle exhaustive_split(const core::LayerWork& work,
+                             const core::ArrayDims& total) {
+  DRIFT_CHECK(total.rows > 0 && total.cols > 0, "empty array");
+  SplitOracle best;
+  for (std::int64_t r = 0; r <= total.rows; ++r) {
+    for (std::int64_t c = 0; c <= total.cols; ++c) {
+      const std::int64_t hh = eq7_cycles(work.m_high, work.k, work.n_high,
+                                         work.pa_high, work.pw_high, r, c);
+      const std::int64_t hl =
+          eq7_cycles(work.m_high, work.k, work.n_low, work.pa_high,
+                     work.pw_low, r, total.cols - c);
+      const std::int64_t lh =
+          eq7_cycles(work.m_low, work.k, work.n_high, work.pa_low,
+                     work.pw_high, total.rows - r, c);
+      const std::int64_t ll =
+          eq7_cycles(work.m_low, work.k, work.n_low, work.pa_low,
+                     work.pw_low, total.rows - r, total.cols - c);
+      const std::int64_t makespan =
+          std::max(std::max(hh, hl), std::max(lh, ll));
+      if (makespan < best.best_makespan) {
+        best.best_r = r;
+        best.best_c = c;
+        best.best_makespan = makespan;
+      }
+    }
+  }
+  return best;
+}
+
+RenderingOracle brute_force_rendering(std::span<const float> values,
+                                      const core::QuantParams& params,
+                                      core::Precision lp) {
+  const int clip_total = params.bits.bits() - lp.bits();
+  DRIFT_CHECK(clip_total >= 0, "lp wider than hp");
+
+  double max_abs = 0.0;
+  std::vector<std::int32_t> codes(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(static_cast<double>(values[i])));
+    codes[i] =
+        quantize_value(values[i], params.delta, params.bits.max_level());
+  }
+
+  RenderingOracle oracle;
+  bool have_best = false;
+  for (int hc = 0; hc <= clip_total; ++hc) {
+    const int lc = clip_total - hc;
+    const double exact_range = static_cast<double>(lp.max_level()) *
+                               static_cast<double>(std::int64_t{1} << lc) *
+                               params.delta;
+    if (exact_range >= max_abs) oracle.eq5_hc = std::max(oracle.eq5_hc, hc);
+
+    bool clips = false;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      // Un-clamped shift-round; anything past the lp range clips.
+      std::int64_t mag = std::abs(static_cast<std::int64_t>(codes[i]));
+      if (lc > 0) mag = (mag + (std::int64_t{1} << (lc - 1))) >> lc;
+      if (mag > lp.max_level()) clips = true;
+      const std::int32_t q_lp = convert_to_low(codes[i], lp.max_level(), lc);
+      const double err = std::abs(static_cast<double>(values[i]) -
+                                  dequantize_low(q_lp, params.delta, lc));
+      worst = std::max(worst, err);
+    }
+    if (!clips) oracle.max_hc_no_clip = std::max(oracle.max_hc_no_clip, hc);
+    if (!have_best || worst < oracle.best_max_error) {
+      have_best = true;
+      oracle.best_max_error = worst;
+      oracle.best_hc = hc;
+      oracle.best_lc = lc;
+    }
+  }
+  return oracle;
+}
+
+std::int64_t pipeline_exit_closed_form(std::span<const std::int64_t> costs,
+                                       std::int64_t stages) {
+  DRIFT_CHECK(stages > 0, "pipeline needs at least one stage");
+  if (costs.empty()) return 0;
+  std::int64_t sum = 0, peak = 0;
+  for (std::int64_t k : costs) {
+    DRIFT_CHECK(k > 0, "row cost must be > 0");
+    sum += k;
+    peak = std::max(peak, k);
+  }
+  return sum + (stages - 1) * peak;
+}
+
+}  // namespace drift::ref

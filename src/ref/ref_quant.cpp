@@ -1,0 +1,63 @@
+#include "ref/ref_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace drift::ref {
+
+std::int32_t quantize_value(float x, double delta, std::int64_t max_level) {
+  DRIFT_CHECK(delta > 0.0, "delta must be positive");
+  const double s = static_cast<double>(x) / delta;
+  // Round half away from zero: floor(|s| + 0.5) with the sign restored.
+  const double mag = std::floor(std::abs(s) + 0.5);
+  const auto q = static_cast<std::int64_t>(s < 0.0 ? -mag : mag);
+  return static_cast<std::int32_t>(
+      std::clamp<std::int64_t>(q, -max_level, max_level));
+}
+
+std::int32_t convert_to_low(std::int32_t q, std::int64_t lp_max_level,
+                            int lc) {
+  DRIFT_CHECK(lc >= 0 && lc < 32, "invalid low-clip count");
+  std::int64_t mag = std::abs(static_cast<std::int64_t>(q));
+  if (lc > 0) {
+    // (|q| + 2^(lc-1)) >> lc rounds half away from zero for the
+    // magnitude; exact because everything stays integral.
+    const std::int64_t half = std::int64_t{1} << (lc - 1);
+    mag = (mag + half) >> lc;
+  }
+  mag = std::min(mag, lp_max_level);
+  return static_cast<std::int32_t>(q < 0 ? -mag : mag);
+}
+
+double dequantize_low(std::int32_t q_lp, double delta, int lc) {
+  return static_cast<double>(q_lp) *
+         static_cast<double>(std::int64_t{1} << lc) * delta;
+}
+
+core::SubTensorStats stats(std::span<const float> values) {
+  DRIFT_CHECK(!values.empty(), "stats of an empty sub-tensor");
+  double max_abs = 0.0;
+  double sum_abs = 0.0, c_abs = 0.0;
+  double sum = 0.0, c_sum = 0.0;
+  double sum_sq = 0.0, c_sq = 0.0;
+  auto kahan_add = [](double& total, double& comp, double term) {
+    const double y = term - comp;
+    const double t = total + y;
+    comp = (t - total) - y;
+    total = t;
+  };
+  for (float x : values) {
+    const double v = static_cast<double>(x);
+    const double a = std::abs(v);
+    max_abs = std::max(max_abs, a);
+    kahan_add(sum_abs, c_abs, a);
+    kahan_add(sum, c_sum, v);
+    kahan_add(sum_sq, c_sq, v * v);
+  }
+  const double n = static_cast<double>(values.size());
+  return core::SubTensorStats{max_abs, sum_abs / n, sum / n, sum_sq / n};
+}
+
+}  // namespace drift::ref

@@ -1,0 +1,36 @@
+// Independent reference implementations of the quantization primitives
+// (Equation 1 and the Section 3.1 hi->lo conversion).
+//
+// core/quantizer.cpp rounds through floating point (std::llround of a
+// double quotient); the references here round through *exact integer
+// arithmetic* wherever possible, so a differential test between the
+// two certifies the rounding semantics (round half away from zero) and
+// the clamp boundaries rather than re-running the same code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/selector.hpp"
+
+namespace drift::ref {
+
+/// Equation 1: round(x / Δ) half away from zero, clamped to
+/// ±max_level.  Implemented via floor(|s| + 0.5) instead of llround.
+std::int32_t quantize_value(float x, double delta, std::int64_t max_level);
+
+/// Section 3.1 low conversion: round(q / 2^lc) half away from zero,
+/// clamped to ±lp_max_level.  Pure integer arithmetic — the hardware's
+/// shift-round-saturate datapath.
+std::int32_t convert_to_low(std::int32_t q, std::int64_t lp_max_level,
+                            int lc);
+
+/// Dequantization of a low code: q_lp * 2^lc * Δ.
+double dequantize_low(std::int32_t q_lp, double delta, int lc);
+
+/// Pooling-unit statistics with Kahan-compensated sums.  max_abs is
+/// exact; the means are within a few ulps of the uncompensated
+/// accumulation in core/selector.cpp.
+core::SubTensorStats stats(std::span<const float> values);
+
+}  // namespace drift::ref

@@ -44,10 +44,18 @@ SimResult simulate_tile(const TensorI32& a, const TensorI32& w,
   const std::int64_t exe = pipeline_exit_cycles(row_cost, stages);
   result.cycles = result.preload_cycles + exe;
 
+  // Stall accounting uses the same no-interference bound as
+  // pipeline_stall_cycles: all rows inject back-to-back (sum of costs
+  // at stage 0) and the last row drains the remaining stages at its
+  // own pace.  Anything beyond that is throttling by a slower row
+  // still in flight.  (An earlier version subtracted
+  // `stages - row_cost.back()`, which mis-reported uniform non-unit
+  // streams — e.g. all-cost-2 rows, which stall nothing — as stalled;
+  // the differential suite against the stall model pinned this.)
   std::int64_t weighted = 0;
   for (std::int64_t k : row_cost) weighted += k;
-  const std::int64_t no_stall =
-      result.preload_cycles + weighted + stages - row_cost.back();
+  const std::int64_t no_stall = result.preload_cycles + weighted +
+                                (stages - 1) * row_cost.back();
   result.stall_cycles = result.cycles - no_stall;
   return result;
 }

@@ -1,0 +1,158 @@
+// Differential suite: parallel blocked kernels (src/nn) vs. naive
+// scalar references (src/ref), bit-exact at 1, 2, and 8 threads.
+//
+// The production kernels pin their accumulation policy (double
+// accumulators, k-ascending order, fixed chunk decomposition), so any
+// thread count must reproduce the single-thread naive result bit for
+// bit — these properties are the safety net under every future kernel
+// optimization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv2d.hpp"
+#include "nn/gemm.hpp"
+#include "proptest/proptest_gtest.hpp"
+#include "ref/ref_kernels.hpp"
+#include "util/thread_pool.hpp"
+
+namespace drift {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// Restores the process-wide pool to its default size on scope exit so
+/// a failing property cannot leak a pinned thread count into later
+/// tests.
+struct PoolGuard {
+  ~PoolGuard() { util::ThreadPool::instance().resize(0); }
+};
+
+TensorF gen_matrix(Rng& rng, std::int64_t rows, std::int64_t cols) {
+  TensorF t(Shape{rows, cols},
+            proptest::gen_laplace_buffer(rng, rows * cols, 0.5));
+  return t;
+}
+
+proptest::Result expect_bitwise_equal(const TensorF& got, const TensorF& want,
+                                      const char* what, int threads) {
+  if (got.shape().numel() != want.shape().numel()) {
+    return proptest::fail(what, ": shape mismatch");
+  }
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    const float g = got.at(i);
+    const float w = want.at(i);
+    // Bitwise comparison via exact float equality (no NaNs in play).
+    if (g != w) {
+      return proptest::fail(what, " differs from scalar reference at flat ",
+                            i, " with ", threads, " thread(s): ", g, " vs ",
+                            w, " (delta=", std::abs(g - w), ")");
+    }
+  }
+  return proptest::pass();
+}
+
+TEST(PropKernels, MatmulBitExactVsNaiveRefAcrossThreads) {
+  PoolGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t m = proptest::gen_dim(rng, size);
+    const std::int64_t k = proptest::gen_dim(rng, size);
+    const std::int64_t n = proptest::gen_dim(rng, size);
+    const TensorF a = gen_matrix(rng, m, k);
+    const TensorF b = gen_matrix(rng, k, n);
+    const TensorF want = ref::matmul(a, b);
+    for (int threads : kThreadCounts) {
+      util::ThreadPool::instance().resize(threads);
+      if (auto r = expect_bitwise_equal(nn::matmul(a, b), want,
+                                        "matmul", threads)) {
+        return r;
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropKernels, MatmulNtBitExactVsNaiveRefAcrossThreads) {
+  PoolGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t m = proptest::gen_dim(rng, size);
+    const std::int64_t k = proptest::gen_dim(rng, size);
+    const std::int64_t n = proptest::gen_dim(rng, size);
+    const TensorF a = gen_matrix(rng, m, k);
+    const TensorF w = gen_matrix(rng, n, k);
+    const TensorF want = ref::matmul_nt(a, w);
+    for (int threads : kThreadCounts) {
+      util::ThreadPool::instance().resize(threads);
+      if (auto r = expect_bitwise_equal(nn::matmul_nt(a, w), want,
+                                        "matmul_nt", threads)) {
+        return r;
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropKernels, MatmulAndMatmulNtAgreeOnTransposedWeights) {
+  // The two GEMM entry points share one accumulation policy, so
+  // A*B == A*(B^T)^T bit for bit.
+  PoolGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t m = proptest::gen_dim(rng, size);
+    const std::int64_t k = proptest::gen_dim(rng, size);
+    const std::int64_t n = proptest::gen_dim(rng, size);
+    const TensorF a = gen_matrix(rng, m, k);
+    const TensorF b = gen_matrix(rng, k, n);
+    TensorF bt(Shape{n, k});
+    for (std::int64_t i = 0; i < k; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) bt(j, i) = b(i, j);
+    }
+    return expect_bitwise_equal(nn::matmul_nt(a, bt), nn::matmul(a, b),
+                                "matmul_nt(A, B^T)", 0);
+  });
+}
+
+TEST(PropKernels, Conv2dLoweringBitExactVsDirectRefAcrossThreads) {
+  PoolGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t c = proptest::gen_dim(rng, std::min(size, 4));
+    const std::int64_t h = proptest::gen_dim(rng, size, 2);
+    const std::int64_t w = proptest::gen_dim(rng, size, 2);
+    const std::int64_t kern = rng.uniform_int(1, std::min<std::int64_t>(
+                                                     std::min(h, w), 4));
+    const std::int64_t stride = rng.uniform_int(1, 2);
+    const std::int64_t pad = rng.uniform_int(0, kern - 1);
+    const std::int64_t oc = proptest::gen_dim(rng, std::min(size, 4));
+
+    const TensorF input = TensorF(
+        Shape{c, h, w}, proptest::gen_laplace_buffer(rng, c * h * w, 0.5));
+    const TensorF weight = gen_matrix(rng, oc, c * kern * kern);
+    TensorF bias(Shape{oc});
+    for (auto& v : bias.data()) v = static_cast<float>(rng.laplace(0.1));
+
+    const TensorF want =
+        ref::conv2d(input, weight, bias, kern, kern, stride, pad);
+    const std::int64_t oh = (h + 2 * pad - kern) / stride + 1;
+    const std::int64_t ow = (w + 2 * pad - kern) / stride + 1;
+    for (int threads : kThreadCounts) {
+      util::ThreadPool::instance().resize(threads);
+      // The production path: im2col lowering, transposed GEMM, bias,
+      // then the [OH*OW, OC] -> [OC, OH, OW] transpose Conv2d applies.
+      const TensorF lowered = nn::im2col(input, kern, kern, stride, pad);
+      TensorF out2d = nn::matmul_nt(lowered, weight);
+      nn::add_bias(out2d, bias);
+      TensorF got(Shape{oc, oh, ow});
+      for (std::int64_t o = 0; o < oc; ++o) {
+        for (std::int64_t p = 0; p < oh * ow; ++p) {
+          got.at(o * oh * ow + p) = out2d(p, o);
+        }
+      }
+      if (auto r = expect_bitwise_equal(got, want, "conv2d", threads)) {
+        return r;
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+}  // namespace
+}  // namespace drift

@@ -1,0 +1,145 @@
+// Differential suite: the Equation 7 analytical latency model and the
+// tandem-queue pipeline closed forms vs. direct independent
+// evaluations in src/ref.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/analytical_model.hpp"
+#include "proptest/proptest_gtest.hpp"
+#include "ref/ref_oracles.hpp"
+#include "systolic/stall_model.hpp"
+
+namespace drift {
+namespace {
+
+core::ArrayDims gen_maybe_degenerate_array(Rng& rng, int size) {
+  core::ArrayDims a = proptest::gen_array_dims(rng, size);
+  if (rng.bernoulli(0.1)) a.rows = 0;
+  if (rng.bernoulli(0.1)) a.cols = 0;
+  return a;
+}
+
+TEST(PropLatencyModel, WsLatencyMatchesDirectEquationSeven) {
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const core::GemmDims g = proptest::gen_gemm_dims(rng, size);
+    const core::ArrayDims a = gen_maybe_degenerate_array(rng, size);
+    const int pa = static_cast<int>(rng.uniform_int(1, 8));
+    const int pw = static_cast<int>(rng.uniform_int(1, 8));
+
+    const std::int64_t got = core::ws_latency_cycles(g, pa, pw, a);
+    const std::int64_t want =
+        ref::eq7_cycles(g.M, g.K, g.N, pa, pw, a.rows, a.cols);
+    if (got != want) {
+      return proptest::fail("ws_latency_cycles(", g.M, "x", g.K, "x", g.N,
+                            ", pa=", pa, ", pw=", pw, ", ", a.rows, "x",
+                            a.cols, ") = ", got, " vs direct Eq. 7 ", want);
+    }
+
+    const std::int64_t reps = core::ws_tile_repetitions(g, pa, pw, a);
+    if (g.empty()) {
+      // Production counts zero repetitions for empty work even when
+      // only M is zero (the ref oracle never sees M).
+      if (reps != 0) {
+        return proptest::fail("empty work reported ", reps, " repetitions");
+      }
+    } else if (reps != ref::eq7_repetitions(g.K, g.N, pa, pw, a.rows,
+                                            a.cols)) {
+      return proptest::fail("ws_tile_repetitions = ", reps,
+                            " vs direct Eq. 7 ",
+                            ref::eq7_repetitions(g.K, g.N, pa, pw, a.rows,
+                                                 a.cols));
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropLatencyModel, RepetitionsMonotoneInArrayAndPrecision) {
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    core::GemmDims g = proptest::gen_gemm_dims(rng, size);
+    g.M = std::max<std::int64_t>(g.M, 1);
+    g.K = std::max<std::int64_t>(g.K, 1);
+    g.N = std::max<std::int64_t>(g.N, 1);
+    const core::ArrayDims a = proptest::gen_array_dims(rng, size);
+    const int pa = static_cast<int>(rng.uniform_int(1, 4));
+    const int pw = static_cast<int>(rng.uniform_int(1, 4));
+
+    // A bigger array never needs more weight tiles.
+    const std::int64_t base = core::ws_tile_repetitions(g, pa, pw, a);
+    const std::int64_t more_rows = core::ws_tile_repetitions(
+        g, pa, pw, core::ArrayDims{a.rows + 1, a.cols});
+    const std::int64_t more_cols = core::ws_tile_repetitions(
+        g, pa, pw, core::ArrayDims{a.rows, a.cols + 1});
+    if (more_rows > base || more_cols > base) {
+      return proptest::fail("growing the array raised repetitions: ", base,
+                            " -> rows+1: ", more_rows, ", cols+1: ",
+                            more_cols);
+    }
+
+    // Doubling a precision at most doubles (and never lowers) the
+    // repetition count — the ceil() can only round the doubling down.
+    const std::int64_t dbl_pa =
+        core::ws_tile_repetitions(g, 2 * pa, pw, a);
+    const std::int64_t dbl_pw =
+        core::ws_tile_repetitions(g, pa, 2 * pw, a);
+    if (dbl_pa < base || dbl_pa > 2 * base || dbl_pw < base ||
+        dbl_pw > 2 * base) {
+      return proptest::fail("precision doubling broke the [1x, 2x] band: ",
+                            base, " -> pa: ", dbl_pa, ", pw: ", dbl_pw);
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropLatencyModel, PipelineExitMatchesClosedForm) {
+  // The O(M*stages) tandem-queue recursion vs. the max-plus
+  // lattice-path closed form sum(costs) + (stages-1)*max(costs).
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t rows = rng.uniform_int(0, 4 + 4 * size);
+    const std::int64_t stages = rng.uniform_int(1, 3 + 2 * size);
+    std::vector<std::int64_t> costs(static_cast<std::size_t>(rows));
+    for (auto& k : costs) k = rng.uniform_int(1, 6);
+
+    const std::int64_t got = systolic::pipeline_exit_cycles(costs, stages);
+    const std::int64_t want =
+        ref::pipeline_exit_closed_form(costs, stages);
+    if (got != want) {
+      return proptest::fail("pipeline_exit_cycles(", rows, " rows, ",
+                            stages, " stages) = ", got,
+                            " vs closed form ", want);
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropLatencyModel, PipelineStallIdentityAndUniformStreamsStallFree) {
+  // From the closed form, stall = exit - (sum + (stages-1)*last)
+  //                             = (stages-1) * (max(costs) - last).
+  // In particular any uniform-cost stream — unit or not — stalls
+  // nothing; the cycle_sim used to get the non-unit case wrong.
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t rows = rng.uniform_int(1, 4 + 4 * size);
+    const std::int64_t stages = rng.uniform_int(1, 3 + 2 * size);
+    std::vector<std::int64_t> costs(static_cast<std::size_t>(rows));
+    const bool uniform = rng.bernoulli(0.3);
+    const std::int64_t u = rng.uniform_int(1, 6);
+    for (auto& k : costs) k = uniform ? u : rng.uniform_int(1, 6);
+
+    const std::int64_t got = systolic::pipeline_stall_cycles(costs, stages);
+    const std::int64_t peak = *std::max_element(costs.begin(), costs.end());
+    const std::int64_t want = (stages - 1) * (peak - costs.back());
+    if (got != want) {
+      return proptest::fail("pipeline_stall_cycles = ", got,
+                            " vs identity (stages-1)*(max-last) = ", want);
+    }
+    if (uniform && got != 0) {
+      return proptest::fail("uniform cost-", u, " stream reported ", got,
+                            " stall cycles");
+    }
+    return proptest::pass();
+  });
+}
+
+}  // namespace
+}  // namespace drift

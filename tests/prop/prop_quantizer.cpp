@@ -1,0 +1,198 @@
+// Differential suite: quantization primitives (Equation 1 and the
+// Section 3.1 hi->lo conversion) vs. exact-integer references, plus the
+// integer-domain GEMM path (quantize_rows / dequantize_operand /
+// int_gemm_nt) vs. naive scalar recomputation at 1, 2, and 8 threads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/quantizer.hpp"
+#include "nn/int_gemm.hpp"
+#include "proptest/proptest_gtest.hpp"
+#include "ref/ref_kernels.hpp"
+#include "ref/ref_quant.hpp"
+#include "util/thread_pool.hpp"
+
+namespace drift {
+namespace {
+
+struct PoolGuard {
+  ~PoolGuard() { util::ThreadPool::instance().resize(0); }
+};
+
+TEST(PropQuantizer, QuantizeValueMatchesIntegerRoundingRef) {
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const core::QuantParams p =
+        proptest::gen_quant_params(rng, core::kInt8);
+    for (int i = 0; i < 32 * size; ++i) {
+      float x;
+      if (rng.bernoulli(0.3)) {
+        // Boundary ammunition: exact multiples and half-multiples of Δ
+        // probe the round-half-away-from-zero tie behavior.
+        const double mult = static_cast<double>(rng.uniform_int(-260, 260));
+        x = static_cast<float>((mult / 2.0) * p.delta);
+      } else {
+        x = static_cast<float>(rng.laplace(20.0 * p.delta));
+      }
+      const std::int32_t got = core::quantize_value(x, p);
+      const std::int32_t want =
+          ref::quantize_value(x, p.delta, p.bits.max_level());
+      if (got != want) {
+        return proptest::fail("quantize_value(", x, ", delta=", p.delta,
+                              ") = ", got, ", integer-rounding ref says ",
+                              want);
+      }
+      const float deq = core::dequantize_value(got, p);
+      const float deq_ref =
+          static_cast<float>(static_cast<double>(want) * p.delta);
+      if (deq != deq_ref) {
+        return proptest::fail("dequantize_value(", got, ") = ", deq,
+                              " vs ref ", deq_ref);
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropQuantizer, ConvertToLowMatchesShiftRoundSaturateRef) {
+  // Exhaustive over the full INT8 code space for every (hc, lc) choice
+  // of a random lp — the hardware datapath has no other inputs.
+  proptest::gtest_check([](Rng& rng, int) -> proptest::Result {
+    const core::Precision lp(static_cast<int>(rng.uniform_int(2, 6)));
+    const core::QuantParams p =
+        proptest::gen_quant_params(rng, core::kInt8);
+    for (const core::ConversionChoice& choice :
+         core::enumerate_choices(core::kInt8, lp)) {
+      for (std::int32_t q = -127; q <= 127; ++q) {
+        const std::int32_t got = core::convert_to_low(q, lp, choice);
+        const std::int32_t want =
+            ref::convert_to_low(q, lp.max_level(), choice.lc);
+        if (got != want) {
+          return proptest::fail("convert_to_low(", q, ", lp=", lp.bits(),
+                                ", hc=", choice.hc, ", lc=", choice.lc,
+                                ") = ", got, ", shift-round-saturate ref ",
+                                want);
+        }
+        const float deq = core::dequantize_low(got, p, choice);
+        const float deq_ref = static_cast<float>(
+            ref::dequantize_low(want, p.delta, choice.lc));
+        if (deq != deq_ref) {
+          return proptest::fail("dequantize_low mismatch at q=", q, ": ",
+                                deq, " vs ", deq_ref);
+        }
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropQuantizer, RoundTripErrorBoundedByHalfStep) {
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t n = 8 * proptest::gen_dim(rng, size);
+    const auto values = proptest::gen_laplace_buffer(rng, n, 0.3);
+    const core::QuantParams p =
+        core::compute_quant_params(values, core::kInt8);
+    for (float x : values) {
+      const float rt =
+          core::dequantize_value(core::quantize_value(x, p), p);
+      // Half-step bound plus a whisker for the float cast.
+      if (std::abs(rt - x) > 0.5 * p.delta * (1.0 + 1e-6) + 1e-30) {
+        return proptest::fail("round-trip error ", std::abs(rt - x),
+                              " exceeds half step ", 0.5 * p.delta,
+                              " at x=", x);
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropQuantizer, QuantizeRowsPipelineMatchesScalarRefAcrossThreads) {
+  PoolGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t rows = proptest::gen_dim(rng, size);
+    const std::int64_t cols = 4 * proptest::gen_dim(rng, size);
+    TensorF x(Shape{rows, cols},
+              proptest::gen_laplace_buffer(rng, rows * cols, 0.4));
+    const core::SelectorConfig cfg = proptest::gen_selector_config(rng);
+    const double budget = rng.uniform(0.01, 0.2);
+
+    util::ThreadPool::instance().resize(1);
+    const nn::QuantizedOperand base = nn::quantize_rows(x, cfg, budget);
+    for (int threads : {2, 8}) {
+      util::ThreadPool::instance().resize(threads);
+      const nn::QuantizedOperand op = nn::quantize_rows(x, cfg, budget);
+      for (std::int64_t i = 0; i < op.codes.numel(); ++i) {
+        if (op.codes.at(i) != base.codes.at(i)) {
+          return proptest::fail("quantize_rows codes diverge at flat ", i,
+                                " with ", threads, " thread(s)");
+        }
+      }
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const auto& d = op.rows[static_cast<std::size_t>(r)];
+        const auto& bd = base.rows[static_cast<std::size_t>(r)];
+        if (d.use_low != bd.use_low || d.choice.hc != bd.choice.hc ||
+            d.choice.lc != bd.choice.lc) {
+          return proptest::fail("quantize_rows decision diverges at row ",
+                                r, " with ", threads, " thread(s)");
+        }
+      }
+    }
+
+    // dequantize_operand must apply exactly row_scale per element.
+    util::ThreadPool::instance().resize(
+        static_cast<int>(rng.uniform_int(1, 8)));
+    const TensorF deq = nn::dequantize_operand(base);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const double scale = base.row_scale(r);
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float want = static_cast<float>(base.codes(r, c) * scale);
+        if (deq(r, c) != want) {
+          return proptest::fail("dequantize_operand(", r, ",", c, ") = ",
+                                deq(r, c), " vs scalar ", want);
+        }
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropQuantizer, IntGemmBitExactVsScalarRefAcrossThreads) {
+  PoolGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t m = proptest::gen_dim(rng, size);
+    const std::int64_t k = 2 * proptest::gen_dim(rng, size);
+    const std::int64_t n = proptest::gen_dim(rng, size);
+    TensorF a(Shape{m, k}, proptest::gen_laplace_buffer(rng, m * k, 0.4));
+    TensorF w(Shape{n, k}, proptest::gen_laplace_buffer(rng, n * k, 0.2));
+    const core::SelectorConfig cfg = proptest::gen_selector_config(rng);
+
+    util::ThreadPool::instance().resize(1);
+    const nn::QuantizedOperand act = nn::quantize_rows(a, cfg, 0.05);
+    const nn::QuantizedOperand wgt = nn::quantize_rows(w, cfg, 0.05);
+    std::vector<double> act_scale(static_cast<std::size_t>(m));
+    std::vector<double> wgt_scale(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < m; ++i) {
+      act_scale[static_cast<std::size_t>(i)] = act.row_scale(i);
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      wgt_scale[static_cast<std::size_t>(j)] = wgt.row_scale(j);
+    }
+    const TensorF want =
+        ref::int_gemm_nt(act.codes, wgt.codes, act_scale, wgt_scale);
+    for (int threads : {1, 2, 8}) {
+      util::ThreadPool::instance().resize(threads);
+      const TensorF got = nn::int_gemm_nt(act, wgt);
+      for (std::int64_t i = 0; i < got.numel(); ++i) {
+        if (got.at(i) != want.at(i)) {
+          return proptest::fail("int_gemm_nt differs from scalar ref at ",
+                                i, " with ", threads, " thread(s): ",
+                                got.at(i), " vs ", want.at(i));
+        }
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+}  // namespace
+}  // namespace drift

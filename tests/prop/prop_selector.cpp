@@ -1,0 +1,229 @@
+// Differential suite: the Eq. 5/6 precision selector vs. the
+// brute-force (hc, lc) clip-enumeration oracle, which re-renders the
+// sub-tensor's actual codes under every choice and shares no code with
+// src/core/selector.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "core/quantizer.hpp"
+#include "core/selector.hpp"
+#include "proptest/proptest_gtest.hpp"
+#include "ref/ref_oracles.hpp"
+#include "ref/ref_quant.hpp"
+
+namespace drift {
+namespace {
+
+struct SelectorCase {
+  std::vector<float> enclosing;  ///< the full tensor (Δ calibration)
+  std::span<const float> sub;    ///< the sub-tensor under selection
+  core::QuantParams params;
+  core::SelectorConfig cfg;
+  core::SubTensorStats stats;
+};
+
+/// The enclosing tensor calibrates Δ (Equation 1); a contiguous slice
+/// of it is the sub-tensor the selector sees — sub-tensors whose range
+/// is much narrower than the full tensor are exactly the ones the
+/// paper's dynamic precision targets.
+SelectorCase gen_case(Rng& rng, int size) {
+  SelectorCase sc;
+  const std::int64_t total = 4 * proptest::gen_dim(rng, size);
+  sc.enclosing = proptest::gen_laplace_buffer(rng, total, 0.5);
+  const std::int64_t len = rng.uniform_int(1, total);
+  const std::int64_t off = rng.uniform_int(0, total - len);
+  sc.sub = std::span<const float>(sc.enclosing)
+               .subspan(static_cast<std::size_t>(off),
+                        static_cast<std::size_t>(len));
+  sc.cfg = proptest::gen_selector_config(rng);
+  sc.params = core::compute_quant_params(sc.enclosing, sc.cfg.hp);
+  sc.stats = ref::stats(sc.sub);
+  return sc;
+}
+
+TEST(PropSelector, ClipChoiceMatchesBruteForceEquationFive) {
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const SelectorCase sc = gen_case(rng, size);
+    const int clip_total = sc.cfg.hp.bits() - sc.cfg.lp.bits();
+    const core::PrecisionDecision d =
+        core::select_precision(sc.stats, sc.params, sc.cfg);
+    const ref::RenderingOracle oracle =
+        ref::brute_force_rendering(sc.sub, sc.params, sc.cfg.lp);
+
+    if (oracle.eq5_hc < 0) {
+      // No (hc, lc) covers max(|Y|): the selector must refuse low.
+      if (d.use_low) {
+        return proptest::fail("selector went low but the oracle found no "
+                              "feasible clip (max_abs=", sc.stats.max_abs,
+                              ")");
+      }
+      return proptest::pass();
+    }
+    if (d.choice.hc != oracle.eq5_hc ||
+        d.choice.lc != clip_total - oracle.eq5_hc) {
+      return proptest::fail("selector chose (hc=", d.choice.hc, ", lc=",
+                            d.choice.lc, ") but brute force says hc=",
+                            oracle.eq5_hc, " (max_abs=", sc.stats.max_abs,
+                            ", delta=", sc.params.delta, ")");
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropSelector, ChosenRenderingNeverEngagesTheClamp) {
+  // Equation 5's guarantee: the selected (hc, lc) re-renders every
+  // actual code of the sub-tensor without saturating.
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const SelectorCase sc = gen_case(rng, size);
+    const core::PrecisionDecision d =
+        core::select_precision(sc.stats, sc.params, sc.cfg);
+    if (!d.use_low) return proptest::pass();
+    const ref::RenderingOracle oracle =
+        ref::brute_force_rendering(sc.sub, sc.params, sc.cfg.lp);
+    if (d.choice.hc > oracle.max_hc_no_clip) {
+      return proptest::fail("selected hc=", d.choice.hc,
+                            " clips actual codes; largest clip-free hc is ",
+                            oracle.max_hc_no_clip);
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropSelector, ZeroDensityThresholdAcceptsIffOracleFeasible) {
+  // With δ = 0 Equation 6 always accepts, so the decision reduces to
+  // Equation 5 feasibility — which the oracle decides independently.
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    SelectorCase sc = gen_case(rng, size);
+    sc.cfg.density_threshold = 0.0;
+    const core::PrecisionDecision d =
+        core::select_precision(sc.stats, sc.params, sc.cfg);
+    const ref::RenderingOracle oracle =
+        ref::brute_force_rendering(sc.sub, sc.params, sc.cfg.lp);
+    if (d.use_low != (oracle.eq5_hc >= 0)) {
+      return proptest::fail("at delta=0 selector said use_low=", d.use_low,
+                            " but oracle eq5_hc=", oracle.eq5_hc);
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropSelector, SelectedErrorWithinBoundedGapOfBruteForceOptimum) {
+  // The selector never searches for the error-minimal choice (it fixes
+  // hc by Eq. 5), so exact argmin equality would be a false property.
+  // What Eq. 5 does guarantee for its clip-free choice is the two-stage
+  // rounding bound
+  //     worst |x - render(x)| <= Δ/2 + Δ*2^(lc-1) = Δ*(2^lc + 1)/2,
+  // and since (2^lc + 1)/2 <= 2^lc for lc >= 0, the gap to the
+  // brute-force optimum is at most Δ*2^lc.  Both are asserted.
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const SelectorCase sc = gen_case(rng, size);
+    const core::PrecisionDecision d =
+        core::select_precision(sc.stats, sc.params, sc.cfg);
+    if (!d.use_low) return proptest::pass();
+
+    double worst = 0.0;
+    for (float x : sc.sub) {
+      const std::int32_t q = core::quantize_value(x, sc.params);
+      const std::int32_t q_lp = core::convert_to_low(q, sc.cfg.lp, d.choice);
+      const double rendered =
+          ref::dequantize_low(q_lp, sc.params.delta, d.choice.lc);
+      worst = std::max(worst,
+                       std::abs(static_cast<double>(x) - rendered));
+    }
+    const double step =
+        static_cast<double>(std::int64_t{1} << d.choice.lc) * sc.params.delta;
+    const double absolute_bound = 0.5 * (step + sc.params.delta);
+    const double slack = 1e-9 * (1.0 + std::abs(sc.stats.max_abs));
+    if (worst > absolute_bound + slack) {
+      return proptest::fail("worst rendering error ", worst,
+                            " exceeds the two-stage bound ", absolute_bound,
+                            " (lc=", d.choice.lc, ", delta=",
+                            sc.params.delta, ")");
+    }
+    const ref::RenderingOracle oracle =
+        ref::brute_force_rendering(sc.sub, sc.params, sc.cfg.lp);
+    if (worst > oracle.best_max_error + step + slack) {
+      return proptest::fail("worst rendering error ", worst,
+                            " is more than Δ*2^lc=", step,
+                            " above the brute-force optimum ",
+                            oracle.best_max_error);
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropSelector, AllZeroAndSingleElementEdgeCases) {
+  proptest::gtest_check([](Rng& rng, int) -> proptest::Result {
+    const core::SelectorConfig cfg = proptest::gen_selector_config(rng);
+    const int clip_total = cfg.hp.bits() - cfg.lp.bits();
+    const core::QuantParams params =
+        proptest::gen_quant_params(rng, cfg.hp);
+
+    // All-zero sub-tensor: exactly representable at any precision, so
+    // the selector must take low at the maximal (resolution-preserving)
+    // clip — regardless of δ.
+    std::vector<float> zeros(static_cast<std::size_t>(
+                                 rng.uniform_int(1, 32)),
+                             0.0f);
+    const core::PrecisionDecision dz =
+        core::select_precision(ref::stats(zeros), params, cfg);
+    if (!dz.use_low || dz.choice.hc != clip_total || dz.choice.lc != 0) {
+      return proptest::fail("all-zero sub-tensor: expected low with hc=",
+                            clip_total, ", got use_low=", dz.use_low,
+                            " hc=", dz.choice.hc, " lc=", dz.choice.lc);
+    }
+
+    // Single-element sub-tensor: the clip choice must still match the
+    // brute-force oracle (a single spike is the worst case for the
+    // max-only Eq. 5 shortcut).
+    const std::vector<float> one{
+        static_cast<float>(rng.laplace(60.0 * params.delta))};
+    const core::PrecisionDecision d1 =
+        core::select_precision(ref::stats(one), params, cfg);
+    const ref::RenderingOracle oracle =
+        ref::brute_force_rendering(one, params, cfg.lp);
+    if (oracle.eq5_hc < 0) {
+      if (d1.use_low) {
+        return proptest::fail("single element ", one[0],
+                              " infeasible for lp yet selector went low");
+      }
+    } else if (d1.choice.hc != oracle.eq5_hc) {
+      return proptest::fail("single element ", one[0], ": selector hc=",
+                            d1.choice.hc, " vs oracle ", oracle.eq5_hc);
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropSelector, PoolingStatsMatchKahanReference) {
+  // core::compute_stats accumulates naively; the Kahan-compensated
+  // reference bounds its drift.  max(|Y|) must be exact.
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t n = 8 * proptest::gen_dim(rng, size);
+    const auto values = proptest::gen_laplace_buffer(rng, n, 0.5);
+    const SubTensorView view({drift::Run{0, n}});
+    const core::SubTensorStats got =
+        core::compute_stats(view, std::span<const float>(values));
+    const core::SubTensorStats want = ref::stats(values);
+    if (got.max_abs != want.max_abs) {
+      return proptest::fail("max_abs mismatch: ", got.max_abs, " vs ",
+                            want.max_abs);
+    }
+    const double tol = 1e-12 * static_cast<double>(n) *
+                           (1.0 + want.mean_sq) +
+                       1e-300;
+    if (std::abs(got.mean_abs - want.mean_abs) > tol ||
+        std::abs(got.mean - want.mean) > tol ||
+        std::abs(got.mean_sq - want.mean_sq) > tol) {
+      return proptest::fail("pooling stats drifted past ", tol,
+                            ": mean_abs ", got.mean_abs, " vs ",
+                            want.mean_abs);
+    }
+    return proptest::pass();
+  });
+}
+
+}  // namespace
+}  // namespace drift

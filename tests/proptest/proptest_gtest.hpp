@@ -1,0 +1,33 @@
+// GoogleTest adapter for the property framework: runs a property under
+// the current TEST's name and converts a failing RunReport into one
+// gtest failure carrying the seed, the shrunk size, and the one-line
+// reproduction command.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "proptest/proptest.hpp"
+
+namespace drift::proptest {
+
+/// Runs `prop` as the current gtest test case.  The reported name is
+/// taken from gtest so the printed ctest -R pattern matches exactly.
+template <typename Property>
+void gtest_check(Property&& prop, const Config& cfg = config_from_env()) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string name =
+      std::string(info->test_suite_name()) + "." + info->name();
+  const RunReport rep =
+      run_property(name, std::forward<Property>(prop), cfg);
+  if (!rep.passed) {
+    ADD_FAILURE() << "property " << name << " failed after " << rep.cases_run
+                  << " case(s)  [seed=" << rep.failing_seed
+                  << " size=" << rep.failing_size << "]\n  " << rep.message
+                  << "\nreproduce: " << rep.repro;
+  }
+}
+
+}  // namespace drift::proptest

@@ -239,6 +239,92 @@ TEST(DynamicQuantizer, LaplaceRowsMostlySelectLow) {
   EXPECT_GT(map.low_fraction_by_elements(), 0.5);
 }
 
+TEST(SelectPrecision, ExactRRBoundaryIsInclusive) {
+  // max(|Y|) sitting *exactly* on an RR boundary must keep that clip:
+  // the exact 8->4 range at (hc=3, lc=1) is 14Δ, so max_abs == 14Δ
+  // selects hc=3 while the next representable value above drops to
+  // hc=2.  (The old floor(log2(...)) shortcut could lose the boundary
+  // to floating-point rounding; the selector now compares the exact
+  // range directly.)
+  const QuantParams p = params_with_range(12.7);  // Δ = 0.1, inexact
+  SelectorConfig cfg;
+  cfg.density_threshold = 0.0;
+  SubTensorStats s;
+  s.mean_abs = 0.01;
+
+  s.max_abs = 14.0 * p.delta;
+  const PrecisionDecision on = select_precision(s, p, cfg);
+  EXPECT_TRUE(on.use_low);
+  EXPECT_EQ(on.choice.hc, 3);
+
+  s.max_abs = std::nextafter(14.0 * p.delta, 1e9);
+  const PrecisionDecision above = select_precision(s, p, cfg);
+  EXPECT_TRUE(above.use_low);
+  EXPECT_EQ(above.choice.hc, 2);
+}
+
+TEST(SelectPrecision, WidePrecisionBoundaryKeepsTheClipBit) {
+  // Near-full-width lp (16 -> 15, a single clip bit) is where a
+  // floating-point log2 of the range ratio can land an ulp below 1 and
+  // silently lose the clip.  The exact-search selector must keep hc=1
+  // whenever the 15-bit range at lc=0 (16383Δ) covers max(|Y|).
+  QuantParams p;
+  p.bits = Precision(16);
+  p.delta = 3.3 / 32767.0;  // inexact Δ
+  SelectorConfig cfg;
+  cfg.hp = Precision(16);
+  cfg.lp = Precision(15);
+  cfg.density_threshold = 0.0;
+  SubTensorStats s;
+  s.mean_abs = 1e-4;
+
+  s.max_abs = 16383.0 * p.delta;
+  const PrecisionDecision on = select_precision(s, p, cfg);
+  EXPECT_TRUE(on.use_low);
+  EXPECT_EQ(on.choice.hc, 1);
+  EXPECT_EQ(on.choice.lc, 0);
+
+  s.max_abs = 32766.0 * p.delta;  // needs lc=1, the only other choice
+  const PrecisionDecision wide = select_precision(s, p, cfg);
+  EXPECT_TRUE(wide.use_low);
+  EXPECT_EQ(wide.choice.hc, 0);
+  EXPECT_EQ(wide.choice.lc, 1);
+
+  s.max_abs = 32767.0 * p.delta;  // full range: no 15-bit rendering fits
+  EXPECT_FALSE(select_precision(s, p, cfg).use_low);
+}
+
+TEST(SelectPrecision, SingleElementSubTensor) {
+  // A one-element sub-tensor is the degenerate case of the pooling
+  // statistics: max == mean == |x|.  The decision must be identical to
+  // feeding those stats directly.
+  const QuantParams p = params_with_range(12.7);
+  SelectorConfig cfg;
+  cfg.density_threshold = 0.0;
+  const std::vector<float> buffer = {-1.25f};
+  SubTensorView view(std::vector<::drift::Run>{{0, 1}});
+  const SubTensorStats s = compute_stats(view, buffer);
+  EXPECT_DOUBLE_EQ(s.max_abs, 1.25);
+  EXPECT_DOUBLE_EQ(s.mean_abs, 1.25);
+  const PrecisionDecision d = select_precision(s, p, cfg);
+  EXPECT_TRUE(d.use_low);
+  // Largest hc with 7 * 2^lc * Δ >= 1.25: hc=3 (range 1.4).
+  EXPECT_EQ(d.choice.hc, 3);
+}
+
+TEST(SelectPrecision, AllZeroSubTensorGoesLowAtMaximalClip) {
+  // Zero data is exactly representable at any precision; even an
+  // absurdly strict density threshold must not force it to 8 bits.
+  const QuantParams p = params_with_range(12.7);
+  SelectorConfig cfg;
+  cfg.density_threshold = 1e12;
+  SubTensorStats s;  // all-zero stats
+  const PrecisionDecision d = select_precision(s, p, cfg);
+  EXPECT_TRUE(d.use_low);
+  EXPECT_EQ(d.choice.hc, cfg.hp.bits() - cfg.lp.bits());
+  EXPECT_EQ(d.choice.lc, 0);
+}
+
 TEST(DynamicQuantizer, MismatchedParamsPrecisionThrows) {
   TensorF x(Shape{2, 2}, 1.0f);
   const auto views = partition_rows(x.shape());

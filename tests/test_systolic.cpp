@@ -72,6 +72,35 @@ TEST(CycleSim, GemmOutputCorrectUnderTiling) {
   }
 }
 
+TEST(CycleSim, UniformNonUnitCostTileIsStallFree) {
+  // Regression: the stall accounting used to subtract a no-stall bound
+  // of `stages - last_cost` instead of `(stages - 1) * last_cost`, so a
+  // stream of all-cost-2 rows — which throttles nothing — was reported
+  // as stalled.  It must agree with the stall model exactly.
+  Rng rng(179);
+  const std::int64_t M = 12, R = 4, C = 5;
+  const TensorI32 a = random_int_tensor(rng, Shape{M, R}, 5);
+  const TensorI32 w = random_int_tensor(rng, Shape{R, C}, 5);
+  for (std::int64_t k = 1; k <= 4; ++k) {
+    const std::vector<std::int64_t> costs(static_cast<std::size_t>(M), k);
+    const SimResult r = simulate_tile(a, w, costs);
+    EXPECT_EQ(r.stall_cycles, 0) << "uniform cost " << k;
+    EXPECT_EQ(r.cycles, R + M * k + (R + C - 2) * k) << "uniform cost " << k;
+  }
+}
+
+TEST(CycleSim, TileStallAgreesWithStallModel) {
+  Rng rng(181);
+  const std::int64_t M = 24, R = 5, C = 7;
+  const TensorI32 a = random_int_tensor(rng, Shape{M, R}, 5);
+  const TensorI32 w = random_int_tensor(rng, Shape{R, C}, 5);
+  std::vector<std::int64_t> costs(static_cast<std::size_t>(M), 1);
+  for (std::size_t i = 0; i < costs.size(); i += 3) costs[i] = 2;
+  costs[5] = 4;
+  const SimResult r = simulate_tile(a, w, costs);
+  EXPECT_EQ(r.stall_cycles, pipeline_stall_cycles(costs, R + C - 1));
+}
+
 TEST(CycleSim, MixedCostsIncurStalls) {
   Rng rng(173);
   const std::int64_t M = 32, R = 6, C = 6;
