@@ -9,8 +9,8 @@ namespace drift::core {
 PrecisionMap DrqQuantizer::select(std::span<const float> values,
                                   const std::vector<SubTensorView>& views,
                                   const QuantParams& params) const {
-  DRIFT_CHECK(params.bits == config_.hp,
-              "quant params precision must match DRQ hp");
+  DRIFT_CHECK_EQ(params.bits, config_.hp,
+                 "quant params precision must match DRQ hp");
   // Tensor-wide mean(|X|) reference for the sensitivity test.
   double sum_abs = 0.0;
   for (float v : values) sum_abs += std::abs(static_cast<double>(v));
@@ -39,8 +39,8 @@ PrecisionMap DrqQuantizer::select(std::span<const float> values,
 std::vector<float> DrqQuantizer::apply(
     std::span<const float> values, const std::vector<SubTensorView>& views,
     const QuantParams& params, const PrecisionMap& map) const {
-  DRIFT_CHECK(views.size() == map.num_subtensors(),
-              "view/map count mismatch");
+  DRIFT_CHECK_EQ(views.size(), map.num_subtensors(),
+                 "view/map count mismatch");
   std::vector<float> out(values.size());
   for (std::size_t i = 0; i < values.size(); ++i) {
     out[i] = dequantize_value(quantize_value(values[i], params), params);

@@ -9,7 +9,7 @@ namespace drift::core {
 
 double curvature_along(const LossFn& loss, std::span<const float> x,
                        std::span<const float> direction, double step) {
-  DRIFT_CHECK(x.size() == direction.size(), "direction size mismatch");
+  DRIFT_CHECK_EQ(x.size(), direction.size(), "direction size mismatch");
   DRIFT_CHECK(step > 0.0, "step must be positive");
   std::vector<float> plus(x.begin(), x.end());
   std::vector<float> minus(x.begin(), x.end());
@@ -49,7 +49,7 @@ ThresholdSearchResult select_threshold_hessian_aware(
   result.candidates.reserve(grid.size());
   for (double delta : grid) {
     const std::vector<float> rendered = render_at(delta);
-    DRIFT_CHECK(rendered.size() == x.size(), "render size mismatch");
+    DRIFT_CHECK_EQ(rendered.size(), x.size(), "render size mismatch");
     std::vector<float> direction(x.size());
     for (std::size_t i = 0; i < x.size(); ++i) {
       direction[i] = rendered[i] - x[i];

@@ -14,7 +14,7 @@ AutoThresholdResult select_auto_threshold(
     std::span<const SubTensorStats> stats,
     std::span<const std::int64_t> sizes, const QuantParams& params,
     const SelectorConfig& base, double budget, double noise_cap) {
-  DRIFT_CHECK(stats.size() == sizes.size(), "stats/sizes mismatch");
+  DRIFT_CHECK_EQ(stats.size(), sizes.size(), "stats/sizes mismatch");
   DRIFT_CHECK(budget >= 0.0, "budget must be non-negative");
   DRIFT_CHECK(noise_cap >= 0.0, "noise cap must be non-negative");
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ class Precision {
  private:
   int bits_;
 };
+
+/// Streams as "INT<n>" so DRIFT_CHECK_EQ failures print real widths.
+inline std::ostream& operator<<(std::ostream& os, const Precision& p) {
+  return os << p.to_string();
+}
 
 inline constexpr Precision kInt8{8};
 inline constexpr Precision kInt4{4};

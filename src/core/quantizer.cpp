@@ -25,6 +25,8 @@ std::int32_t quantize_value(float x, const QuantParams& params) {
   const double scaled = static_cast<double>(x) / params.delta;
   const auto q = static_cast<std::int64_t>(std::llround(scaled));
   const std::int64_t lim = params.bits.max_level();
+  // drift-lint: allow(narrow) — clamped to ±max_level (≤ 2^15 - 1 for
+  // the widest Precision) on this line, so the value always fits i32.
   return static_cast<std::int32_t>(std::clamp<std::int64_t>(q, -lim, lim));
 }
 
@@ -63,6 +65,8 @@ std::int32_t convert_to_low(std::int32_t q, Precision lp,
   // The RR criterion guarantees this clamp does not engage for
   // correctly selected sub-tensors, but convert_to_low stays total.
   const std::int64_t lim = lp.max_level();
+  // drift-lint: allow(narrow) — clamped to the lp range (±max_level,
+  // at most 15 live bits) on this line, so the value always fits i32.
   return static_cast<std::int32_t>(std::clamp<std::int64_t>(q_lp, -lim, lim));
 }
 

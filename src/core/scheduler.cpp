@@ -53,8 +53,10 @@ SplitDecision schedule_greedy(const LayerWork& work, const ArrayDims& total) {
   const std::int64_t r_max = work.m_low > 0 ? total.rows - 1 : total.rows;
   const std::int64_t c_min = work.n_high > 0 ? 1 : 0;
   const std::int64_t c_max = work.n_low > 0 ? total.cols - 1 : total.cols;
-  DRIFT_CHECK(r_min <= r_max && c_min <= c_max,
-              "array too small to host all precision classes");
+  DRIFT_CHECK_LE(r_min, r_max,
+                 "array rows too few to host all precision classes");
+  DRIFT_CHECK_LE(c_min, c_max,
+                 "array columns too few to host all precision classes");
 
   // Seed the split proportionally to the bit-volume on each axis; this
   // is what the hardware can compute in O(1) from the index buffer.

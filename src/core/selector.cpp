@@ -99,8 +99,8 @@ PrecisionMap::PrecisionMap(std::vector<PrecisionDecision> decisions,
                            SelectorConfig config)
     : decisions_(std::move(decisions)), sizes_(std::move(sizes)),
       config_(config) {
-  DRIFT_CHECK(decisions_.size() == sizes_.size(),
-              "decision/size count mismatch");
+  DRIFT_CHECK_EQ(decisions_.size(), sizes_.size(),
+                 "decision/size count mismatch");
   for (std::size_t i = 0; i < decisions_.size(); ++i) {
     DRIFT_CHECK(sizes_[i] > 0, "sub-tensor size must be positive");
     total_elements_ += sizes_[i];
@@ -136,8 +136,8 @@ double PrecisionMap::low_fraction_by_elements() const {
 PrecisionMap DynamicQuantizer::select(std::span<const float> values,
                                       const std::vector<SubTensorView>& views,
                                       const QuantParams& params) const {
-  DRIFT_CHECK(params.bits == config_.hp,
-              "quant params precision must match selector hp");
+  DRIFT_CHECK_EQ(params.bits, config_.hp,
+                 "quant params precision must match selector hp");
   std::vector<PrecisionDecision> decisions(views.size());
   std::vector<std::int64_t> sizes(views.size());
   const auto n = static_cast<std::int64_t>(views.size());
@@ -155,8 +155,8 @@ PrecisionMap DynamicQuantizer::select(std::span<const float> values,
 std::vector<float> DynamicQuantizer::apply(
     std::span<const float> values, const std::vector<SubTensorView>& views,
     const QuantParams& params, const PrecisionMap& map) const {
-  DRIFT_CHECK(views.size() == map.num_subtensors(),
-              "view/map count mismatch");
+  DRIFT_CHECK_EQ(views.size(), map.num_subtensors(),
+                 "view/map count mismatch");
   std::vector<float> out(values.size());
   // Default: full-precision (hp) rendering everywhere (elementwise).
   util::parallel_for(0, static_cast<std::int64_t>(values.size()), 4096,

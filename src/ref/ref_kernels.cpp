@@ -1,5 +1,7 @@
 #include "ref/ref_kernels.hpp"
 
+// drift-lint: allow(oracle-include) — assertion macro only; shares no
+// computational code with the implementations under test.
 #include "util/assert.hpp"
 
 namespace drift::ref {

@@ -15,6 +15,9 @@
 #include <cstdint>
 #include <vector>
 
+// drift-lint: allow(oracle-include) — container-only include: Tensor
+// is dumb row-major storage; the kernels differentiated against it
+// (src/nn) never flow through this header.
 #include "tensor/tensor.hpp"
 
 namespace drift::ref {

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <vector>
 
-#include "core/analytical_model.hpp"
 #include "ref/ref_quant.hpp"
+// drift-lint: allow(oracle-include) — assertion macro only; shares no
+// computational code with the implementations under test.
 #include "util/assert.hpp"
 
 namespace drift::ref {
@@ -14,7 +15,7 @@ std::int64_t eq7_repetitions(std::int64_t K, std::int64_t N, int pa, int pw,
                              std::int64_t R, std::int64_t C) {
   DRIFT_CHECK(pa > 0 && pw > 0, "precisions must be positive");
   if (K == 0 || N == 0) return 0;
-  if (R <= 0 || C <= 0) return core::kInfeasibleLatency;
+  if (R <= 0 || C <= 0) return kInfeasibleLatency;
   const std::int64_t ka = static_cast<std::int64_t>(pa) * K;
   const std::int64_t nw = static_cast<std::int64_t>(pw) * N;
   const std::int64_t k_tiles = ka / (4 * R) + (ka % (4 * R) != 0 ? 1 : 0);
@@ -25,7 +26,7 @@ std::int64_t eq7_repetitions(std::int64_t K, std::int64_t N, int pa, int pw,
 std::int64_t eq7_cycles(std::int64_t M, std::int64_t K, std::int64_t N,
                         int pa, int pw, std::int64_t R, std::int64_t C) {
   if (M == 0 || K == 0 || N == 0) return 0;
-  if (R <= 0 || C <= 0) return core::kInfeasibleLatency;
+  if (R <= 0 || C <= 0) return kInfeasibleLatency;
   const std::int64_t per_tile = R + (M + R + C - 2);
   return per_tile * eq7_repetitions(K, N, pa, pw, R, C);
 }

@@ -10,18 +10,34 @@
 #include <limits>
 #include <span>
 
+// The oracles answer questions *about* production types, so the plain
+// struct definitions (LayerWork, ArrayDims, QuantParams, Precision) are
+// the shared vocabulary differential testing needs; no algorithm code
+// is pulled in through either header.
+// drift-lint: allow(oracle-include) — type-only include: LayerWork and
+// ArrayDims are plain data structs, no implementation logic shared.
 #include "core/scheduler.hpp"
+// drift-lint: allow(oracle-include) — type-only include: QuantParams
+// and Precision are plain data structs, no implementation logic shared.
 #include "core/selector.hpp"
 
 namespace drift::ref {
+
+/// Sentinel for "this mapping is infeasible".  Numerically equal to
+/// core::kInfeasibleLatency — asserted at compile time in
+/// tests/prop/prop_latency_model.cpp — but defined locally so the
+/// oracle library carries no include dependency on src/core/
+/// implementation headers.
+inline constexpr std::int64_t kInfeasibleLatency =
+    std::numeric_limits<std::int64_t>::max() / 16;
 
 // ---------------------------------------------------------------------
 // Equation 7 (weight-stationary latency), evaluated directly.
 // ---------------------------------------------------------------------
 
 /// ceil(pa*K / 4R) * ceil(pw*N / 16C), the weight-tile repetition
-/// count.  Returns 0 for empty work and core::kInfeasibleLatency when
-/// the work is non-empty but R or C is zero (mirrors the production
+/// count.  Returns 0 for empty work and kInfeasibleLatency when the
+/// work is non-empty but R or C is zero (mirrors the production
 /// sentinel contract).
 std::int64_t eq7_repetitions(std::int64_t K, std::int64_t N, int pa, int pw,
                              std::int64_t R, std::int64_t C);

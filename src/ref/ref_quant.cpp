@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+// drift-lint: allow(oracle-include) — assertion macro only; shares no
+// computational code with the implementations under test.
 #include "util/assert.hpp"
 
 namespace drift::ref {

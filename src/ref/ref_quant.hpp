@@ -11,6 +11,9 @@
 #include <cstdint>
 #include <span>
 
+// drift-lint: allow(oracle-include) — type-only include: the oracles
+// report core::SubTensorStats so differential tests can compare field
+// by field; no selector algorithm code is shared.
 #include "core/selector.hpp"
 
 namespace drift::ref {

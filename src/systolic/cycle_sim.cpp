@@ -9,14 +9,14 @@ namespace drift::systolic {
 
 SimResult simulate_tile(const TensorI32& a, const TensorI32& w,
                         const std::vector<std::int64_t>& row_cost) {
-  DRIFT_CHECK(a.shape().rank() == 2 && w.shape().rank() == 2,
-              "tile operands must be rank-2");
+  DRIFT_CHECK_EQ(a.shape().rank(), 2, "tile activations must be rank-2");
+  DRIFT_CHECK_EQ(w.shape().rank(), 2, "tile weights must be rank-2");
   const std::int64_t M = a.shape().dim(0);
   const std::int64_t R = a.shape().dim(1);  // array rows = K
-  DRIFT_CHECK(w.shape().dim(0) == R, "inner dimension mismatch");
+  DRIFT_CHECK_EQ(w.shape().dim(0), R, "inner dimension mismatch");
   const std::int64_t C = w.shape().dim(1);  // array columns = N
-  DRIFT_CHECK(static_cast<std::int64_t>(row_cost.size()) == M,
-              "one cost per input row required");
+  DRIFT_CHECK_EQ(static_cast<std::int64_t>(row_cost.size()), M,
+                 "one cost per input row required");
 
   SimResult result;
   result.preload_cycles = R;
@@ -62,12 +62,12 @@ SimResult simulate_tile(const TensorI32& a, const TensorI32& w,
 
 SimResult simulate_gemm(const TensorI32& a, const TensorI32& w,
                         const core::ArrayDims& array) {
-  DRIFT_CHECK(a.shape().rank() == 2 && w.shape().rank() == 2,
-              "GEMM operands must be rank-2");
+  DRIFT_CHECK_EQ(a.shape().rank(), 2, "GEMM activations must be rank-2");
+  DRIFT_CHECK_EQ(w.shape().rank(), 2, "GEMM weights must be rank-2");
   DRIFT_CHECK(array.rows > 0 && array.cols > 0, "empty array");
   const std::int64_t M = a.shape().dim(0);
   const std::int64_t K = a.shape().dim(1);
-  DRIFT_CHECK(w.shape().dim(0) == K, "inner dimension mismatch");
+  DRIFT_CHECK_EQ(w.shape().dim(0), K, "inner dimension mismatch");
   const std::int64_t N = w.shape().dim(1);
 
   SimResult total;

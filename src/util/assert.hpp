@@ -29,6 +29,31 @@ namespace detail {
   throw check_error(os.str());
 }
 
+/// Renders a check operand for the failure message; types without an
+/// ostream inserter degrade to a placeholder instead of failing to
+/// compile.
+template <typename T>
+std::string format_value(const T& value) {
+  if constexpr (requires(std::ostringstream& os, const T& v) { os << v; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+[[noreturn]] inline void check_op_failed(
+    const char* macro, const char* a_expr, const char* op, const char* b_expr,
+    const char* file, int line, const std::string& a_value,
+    const std::string& b_value, const std::string& msg) {
+  std::ostringstream os;
+  os << macro << " failed: " << a_expr << ' ' << op << ' ' << b_expr << " ("
+     << a_value << " vs " << b_value << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+
 }  // namespace detail
 }  // namespace drift
 
@@ -47,3 +72,26 @@ namespace detail {
   DRIFT_CHECK(static_cast<long long>(i) >= 0 &&                            \
                   static_cast<long long>(i) < static_cast<long long>(n),   \
               "index out of range")
+
+#define DRIFT_CHECK_OP_(macro, op, a, b, ...)                           \
+  do {                                                                  \
+    const auto& drift_check_a_ = (a);                                   \
+    const auto& drift_check_b_ = (b);                                   \
+    if (!(drift_check_a_ op drift_check_b_)) {                          \
+      ::drift::detail::check_op_failed(                                 \
+          macro, #a, #op, #b, __FILE__, __LINE__,                       \
+          ::drift::detail::format_value(drift_check_a_),                \
+          ::drift::detail::format_value(drift_check_b_),                \
+          ::std::string{"" __VA_ARGS__});                               \
+    }                                                                   \
+  } while (false)
+
+/// Equality check whose failure message shows both operand values:
+///   DRIFT_CHECK_EQ(views.size(), map.num_subtensors(), "view mismatch");
+///   -> "DRIFT_CHECK_EQ failed: ... (2 vs 3) ... — view mismatch"
+#define DRIFT_CHECK_EQ(a, b, ...) \
+  DRIFT_CHECK_OP_("DRIFT_CHECK_EQ", ==, a, b, __VA_ARGS__)
+
+/// Ordering check (a <= b) whose failure message shows both values.
+#define DRIFT_CHECK_LE(a, b, ...) \
+  DRIFT_CHECK_OP_("DRIFT_CHECK_LE", <=, a, b, __VA_ARGS__)

@@ -34,6 +34,8 @@ Message::Message(Level level, const char* tag)
 Message::~Message() {
   if (enabled_) {
     stream_ << '\n';
+    // drift-lint: allow(logging) — this is the logger's terminal sink;
+    // every other module must reach stderr through this line.
     std::cerr << stream_.str();
   }
 }

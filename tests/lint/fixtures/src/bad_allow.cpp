@@ -1,0 +1,10 @@
+// Fixture: suppression hygiene — bare allows, unknown rules, and
+// malformed drift-lint comments are themselves violations.
+#include <cstdio>
+
+void fixture_bad_allow() {
+  printf("no justification");  // drift-lint: allow(logging)
+  printf("unknown rule");      // drift-lint: allow(nonsense) — rule name does not exist.
+  // drift-lint: this marker comment has no allow clause at all
+  printf("third");
+}

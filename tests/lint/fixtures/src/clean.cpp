@@ -1,0 +1,10 @@
+// Fixture: clean file.  Banned tokens inside comments — std::thread,
+// rand(), std::cout, steady_clock::now() — must not fire, and neither
+// must tokens inside string literals (the lexer blanks both channels).
+#include <string>
+
+std::string fixture_clean() {
+  std::string s = "std::cout << rand() << std::thread";
+  s += "std::random_device in a string is data, not code";
+  return s;
+}

@@ -1,0 +1,3 @@
+// Fixture helper: exists so "core/fixture_helper.hpp" resolves under
+// src/ for the oracle-include fixture.
+#pragma once

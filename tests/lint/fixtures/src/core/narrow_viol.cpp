@@ -1,0 +1,8 @@
+// Fixture: `narrow` rule — unjustified casts to code-carrying types.
+#include <cstdint>
+
+std::int32_t fixture_narrow(std::int64_t q) {
+  const std::int8_t small = (std::int8_t)q;
+  const std::int32_t code = static_cast<std::int32_t>(q);
+  return small + code;
+}

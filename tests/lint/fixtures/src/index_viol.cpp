@@ -1,0 +1,11 @@
+// Fixture: `index` rule — raw .data()[...] without an enclosing check.
+#include <vector>
+
+float fixture_unchecked(const std::vector<float>& v, int i) {
+  return v.data()[i];
+}
+
+float fixture_checked(const std::vector<float>& v, int i) {
+  DRIFT_CHECK_INDEX(i, static_cast<int>(v.size()));
+  return v.data()[i];  // legal: checked in the enclosing function
+}

@@ -1,0 +1,9 @@
+// Fixture: `logging` rule — direct output streams inside src/.
+#include <cstdio>
+#include <iostream>
+
+void fixture_logging() {
+  std::cout << "to stdout";
+  std::cerr << "to stderr";
+  printf("%d", 3);
+}

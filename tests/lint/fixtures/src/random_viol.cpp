@@ -1,0 +1,14 @@
+// Fixture: `random` rule — nondeterministic sources inside src/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long fixture_random() {
+  std::random_device rd;
+  const long a = std::rand();
+  const long b = static_cast<long>(std::time(nullptr));
+  const auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return a + b + static_cast<long>(rd());
+}

@@ -1,0 +1,2 @@
+// Fixture helper: a legal src/ref/-internal include target.
+#pragma once

@@ -1,0 +1,6 @@
+// Fixture: `oracle-include` rule — src/ref/ must stay self-contained.
+#include <vector>
+
+#include "core/fixture_helper.hpp"
+#include "ref/fixture_ok.hpp"
+#include "missing/not_a_real_header.hpp"

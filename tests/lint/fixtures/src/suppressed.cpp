@@ -1,0 +1,10 @@
+// Fixture: justified suppressions silence every reported rule.
+#include <cstdio>
+#include <iostream>
+
+void fixture_suppressed() {
+  // drift-lint: allow(logging) — fixture exercising a justified
+  // suppression placed on the comment line above the violation.
+  printf("fine");
+  std::cout << "also fine";  // drift-lint: allow(logging) — same-line suppression form.
+}

@@ -1,0 +1,11 @@
+// Fixture: `thread` rule — raw threading primitives outside the pool.
+#include <future>
+#include <thread>
+
+void fixture_thread() {
+  std::thread t([] {});
+  t.join();
+  (void)std::async([] { return 1; });
+  const unsigned n = std::thread::hardware_concurrency();  // legal query
+  (void)n;
+}

@@ -1,0 +1,3 @@
+// Fixture: `oracle-include` rule — production code must not reach
+// into tests/.
+#include "lint_fixture_util.hpp"

@@ -1,0 +1,2 @@
+// Fixture helper: an include target living inside tests/.
+#pragma once

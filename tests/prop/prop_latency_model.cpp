@@ -14,6 +14,12 @@
 namespace drift {
 namespace {
 
+// The oracle library defines its own infeasibility sentinel so src/ref/
+// needs no include of core/analytical_model.hpp (oracle-independence
+// lint rule); the two constants must never drift apart.
+static_assert(ref::kInfeasibleLatency == core::kInfeasibleLatency,
+              "ref and core infeasibility sentinels must agree");
+
 core::ArrayDims gen_maybe_degenerate_array(Rng& rng, int size) {
   core::ArrayDims a = proptest::gen_array_dims(rng, size);
   if (rng.bernoulli(0.1)) a.rows = 0;

@@ -41,6 +41,65 @@ TEST(Check, IndexMacroRejectsOutOfRange) {
   EXPECT_THROW(DRIFT_CHECK_INDEX(-1, 3), check_error);
 }
 
+TEST(Check, EqMacroPassesOnEqualValues) {
+  EXPECT_NO_THROW(DRIFT_CHECK_EQ(2 + 2, 4));
+  EXPECT_NO_THROW(DRIFT_CHECK_EQ(std::string("ab"), "ab", "with message"));
+}
+
+TEST(Check, EqMacroMessageShowsBothOperands) {
+  const int lhs = 3;
+  const int rhs = 5;
+  try {
+    DRIFT_CHECK_EQ(lhs, rhs, "operand context");
+    FAIL() << "expected throw";
+  } catch (const check_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DRIFT_CHECK_EQ failed"), std::string::npos);
+    EXPECT_NE(what.find("lhs == rhs"), std::string::npos);
+    EXPECT_NE(what.find("(3 vs 5)"), std::string::npos);
+    EXPECT_NE(what.find("operand context"), std::string::npos);
+  }
+}
+
+TEST(Check, LeMacroAcceptsBoundary) {
+  EXPECT_NO_THROW(DRIFT_CHECK_LE(4, 4));
+  EXPECT_NO_THROW(DRIFT_CHECK_LE(3, 4, "with message"));
+}
+
+TEST(Check, LeMacroMessageShowsBothOperands) {
+  try {
+    DRIFT_CHECK_LE(9, 2);
+    FAIL() << "expected throw";
+  } catch (const check_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DRIFT_CHECK_LE failed"), std::string::npos);
+    EXPECT_NE(what.find("(9 vs 2)"), std::string::npos);
+  }
+}
+
+TEST(Check, OpMacroEvaluatesOperandsOnce) {
+  int calls = 0;
+  const auto bump = [&calls] { return ++calls; };
+  DRIFT_CHECK_EQ(bump(), 1, "single evaluation");
+  EXPECT_EQ(calls, 1);
+}
+
+namespace {
+struct Unprintable {
+  bool operator==(const Unprintable&) const { return false; }
+};
+}  // namespace
+
+TEST(Check, UnprintableOperandsDegradeGracefully) {
+  try {
+    DRIFT_CHECK_EQ(Unprintable{}, Unprintable{});
+    FAIL() << "expected throw";
+  } catch (const check_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("<unprintable>"), std::string::npos);
+  }
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) {

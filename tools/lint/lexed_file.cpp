@@ -1,0 +1,139 @@
+#include "lexed_file.hpp"
+
+#include <cctype>
+
+namespace drift::lint {
+
+namespace {
+
+enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+
+}  // namespace
+
+LexedFile lex_file(std::filesystem::path path, std::string rel,
+                   const std::string& content) {
+  LexedFile file;
+  file.path = std::move(path);
+  file.rel = std::move(rel);
+
+  State state = State::kCode;
+  std::string raw_delim;  // raw-string terminator: )delim"
+  LexedLine line;
+
+  const auto flush_line = [&] {
+    file.lines.push_back(std::move(line));
+    line = LexedLine{};
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      // Line comments end at the newline; every other state carries
+      // over (block comments, raw strings; an unterminated plain
+      // string is a syntax error upstream, treat it as ending too).
+      if (state == State::kLineComment || state == State::kString ||
+          state == State::kChar) {
+        state = State::kCode;
+      }
+      flush_line();
+      continue;
+    }
+    line.raw.push_back(c);
+
+    switch (state) {
+      case State::kCode: {
+        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          line.raw.push_back(next);
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          line.raw.push_back(next);
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (line.code.empty() ||
+                    (!std::isalnum(static_cast<unsigned char>(
+                         line.code.back())) &&
+                     line.code.back() != '_'))) {
+          // R"delim( ... )delim" — scan the delimiter.
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < content.size() && content[j] != '(' &&
+                 content[j] != '\n') {
+            delim.push_back(content[j]);
+            ++j;
+          }
+          state = State::kRaw;
+          raw_delim = ")" + delim + "\"";
+          line.code += "\"\"";
+          // Emit the delimiter header into raw, then skip past '('.
+          for (std::size_t k = i + 1; k <= j && k < content.size(); ++k) {
+            line.raw.push_back(content[k]);
+          }
+          i = j;
+        } else if (c == '"') {
+          state = State::kString;
+          line.code += "\"\"";
+        } else if (c == '\'') {
+          state = State::kChar;
+          line.code += "''";
+        } else {
+          line.code.push_back(c);
+        }
+        break;
+      }
+      case State::kLineComment:
+        line.comment.push_back(c);
+        break;
+      case State::kBlockComment: {
+        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          line.raw.push_back(next);
+          ++i;
+        } else {
+          line.comment.push_back(c);
+        }
+        break;
+      }
+      case State::kString: {
+        if (c == '\\') {
+          if (i + 1 < content.size() && content[i + 1] != '\n') {
+            line.raw.push_back(content[i + 1]);
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      }
+      case State::kChar: {
+        if (c == '\\') {
+          if (i + 1 < content.size() && content[i + 1] != '\n') {
+            line.raw.push_back(content[i + 1]);
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      }
+      case State::kRaw: {
+        if (c == raw_delim.front() &&
+            content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            if (content[i + k] != '\n') line.raw.push_back(content[i + k]);
+          }
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  if (!line.raw.empty() || !line.comment.empty()) flush_line();
+  return file;
+}
+
+}  // namespace drift::lint

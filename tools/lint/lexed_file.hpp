@@ -1,0 +1,40 @@
+// Lightweight line-oriented C++ lexer for drift_lint.
+//
+// The rules in rules.cpp match textual patterns ("std::thread",
+// "static_cast<std::int8_t>", ...), so the lexer's only job is to make
+// that matching sound: for every source line it separates the *code*
+// text (string/char literal contents blanked, comments removed) from
+// the *comment* text, where suppression comments live.  The raw line
+// is kept as well because `#include "..."` paths live inside a string
+// literal that the code channel deliberately blanks.
+//
+// This is not a full tokenizer — it only tracks the lexical states
+// that change what a byte means: line comments, block comments,
+// string/char literals (with escapes) and raw strings.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace drift::lint {
+
+struct LexedLine {
+  std::string raw;      ///< the line exactly as read (no trailing \n)
+  std::string code;     ///< raw with comments removed, literals blanked
+  std::string comment;  ///< concatenated comment text of this line
+};
+
+struct LexedFile {
+  std::filesystem::path path;   ///< absolute path on disk
+  std::string rel;              ///< path relative to the lint root, '/'
+  std::vector<LexedLine> lines; ///< lines[i] is source line i + 1
+};
+
+/// Splits `content` into per-line code/comment channels.  Block
+/// comments and raw strings may span lines; the lexer carries its
+/// state across them.
+LexedFile lex_file(std::filesystem::path path, std::string rel,
+                   const std::string& content);
+
+}  // namespace drift::lint

@@ -1,0 +1,430 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace drift::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Small string helpers.
+// ---------------------------------------------------------------------
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool is_ident(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// First occurrence of `token` in `code` delimited by non-identifier
+/// characters on both sides (npos if absent).
+std::size_t find_token(const std::string& code, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= code.size() || !is_ident(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Include parsing and resolution.
+// ---------------------------------------------------------------------
+
+struct Include {
+  std::string path;
+  bool angled = false;
+};
+
+std::optional<Include> parse_include(const std::string& raw) {
+  static const std::regex kInclude(
+      R"(^\s*#\s*include\s*([<"])([^">]+)[">])");
+  std::smatch m;
+  if (!std::regex_search(raw, m, kInclude)) return std::nullopt;
+  return Include{m[2].str(), m[1].str() == "<"};
+}
+
+/// Collapses "." and ".." components; keeps the path '/'-separated.
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::stringstream ss(path);
+  std::string part;
+  while (std::getline(ss, part, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+    } else {
+      parts.push_back(part);
+    }
+  }
+  std::string out;
+  for (const auto& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+/// Resolves a quoted include against the walked file set, mirroring the
+/// build's include directories: the includer's own directory first,
+/// then src/ and tests/ (the two target_include_directories roots).
+std::optional<std::string> resolve_include(
+    const std::string& includer_rel, const std::string& inc,
+    const std::unordered_set<std::string>& file_set) {
+  std::vector<std::string> candidates;
+  const std::size_t slash = includer_rel.find_last_of('/');
+  if (slash != std::string::npos) {
+    candidates.push_back(includer_rel.substr(0, slash + 1) + inc);
+  }
+  candidates.push_back("src/" + inc);
+  candidates.push_back("tests/" + inc);
+  for (const auto& c : candidates) {
+    const std::string n = normalize(c);
+    if (file_set.count(n)) return n;
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------
+
+const std::set<std::string>& rule_registry() {
+  static const std::set<std::string> kRules = {
+      "thread", "random", "oracle-include", "narrow", "index", "logging"};
+  return kRules;
+}
+
+struct Suppressions {
+  /// line index (0-based) -> rules allowed on that line.
+  std::unordered_map<int, std::set<std::string>> allowed;
+  std::vector<Violation> violations;  ///< rule "suppression"
+};
+
+Suppressions parse_suppressions(const LexedFile& file) {
+  static const std::regex kAllow(R"(drift-lint:\s*allow\(([A-Za-z_-]+)\))");
+  Suppressions result;
+  const int n = static_cast<int>(file.lines.size());
+  for (int i = 0; i < n; ++i) {
+    const std::string& comment = file.lines[i].comment;
+    if (comment.find("drift-lint:") == std::string::npos) continue;
+
+    std::set<std::string> names;
+    for (std::sregex_iterator it(comment.begin(), comment.end(), kAllow), end;
+         it != end; ++it) {
+      names.insert((*it)[1].str());
+    }
+    if (names.empty()) {
+      result.violations.push_back(
+          {file.rel, i + 1, "suppression",
+           "malformed drift-lint comment; expected "
+           "'drift-lint: allow(<rule>) — <justification>'"});
+      continue;
+    }
+    for (const auto& name : names) {
+      if (!rule_registry().count(name)) {
+        result.violations.push_back(
+            {file.rel, i + 1, "suppression",
+             "suppression names unknown rule '" + name + "'"});
+      }
+    }
+    // Justification: what remains of the comment once the allow tokens
+    // and separator punctuation are stripped must be a real sentence.
+    std::string rest = std::regex_replace(comment, kAllow, "");
+    std::size_t b = rest.find_first_not_of(" \t-—:;,.");
+    std::string just =
+        b == std::string::npos ? "" : trim(rest.substr(b));
+    if (just.size() < 10) {
+      result.violations.push_back(
+          {file.rel, i + 1, "suppression",
+           "suppression carries no justification — append '— <why this "
+           "is safe>'"});
+    }
+
+    result.allowed[i].insert(names.begin(), names.end());
+    // A suppression on a comment-only line covers the next code line.
+    if (trim(file.lines[i].code).empty()) {
+      int j = i + 1;
+      while (j < n && trim(file.lines[j].code).empty() &&
+             file.lines[j].comment.find("drift-lint:") == std::string::npos) {
+        ++j;
+      }
+      if (j < n) result.allowed[j].insert(names.begin(), names.end());
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Enclosing-function tracking (for the `index` rule).
+// ---------------------------------------------------------------------
+
+/// For each line, the 0-based line of the opening brace of the
+/// outermost non-namespace block containing it (-1 at namespace/file
+/// scope).  Class bodies count as one region — permissive, but a
+/// DRIFT_CHECK anywhere in a small class is close enough for a lint.
+std::vector<int> enclosing_block_starts(const LexedFile& file) {
+  struct Frame {
+    bool namespace_like = false;
+    int line = 0;
+  };
+  std::vector<Frame> stack;
+  std::vector<int> result(file.lines.size(), -1);
+
+  const auto lowest_other = [&stack]() -> int {
+    for (const auto& f : stack) {
+      if (!f.namespace_like) return f.line;
+    }
+    return -1;
+  };
+
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    int best = lowest_other();
+    for (std::size_t p = 0; p < code.size(); ++p) {
+      if (code[p] == '{') {
+        const std::string before = code.substr(0, p);
+        const bool ns = find_token(before, "namespace") != std::string::npos ||
+                        find_token(before, "extern") != std::string::npos;
+        stack.push_back({ns, static_cast<int>(i)});
+        if (best == -1) best = lowest_other();
+      } else if (code[p] == '}') {
+        if (!stack.empty()) stack.pop_back();
+      }
+    }
+    result[i] = best;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// The rules themselves.
+// ---------------------------------------------------------------------
+
+struct Context {
+  const std::unordered_set<std::string>* file_set = nullptr;
+  std::vector<Violation>* out = nullptr;
+};
+
+void report(const Context& ctx, const LexedFile& file, int line_idx,
+            const char* rule, std::string message) {
+  ctx.out->push_back({file.rel, line_idx + 1, rule, std::move(message)});
+}
+
+void rule_thread(const Context& ctx, const LexedFile& file) {
+  if (file.rel == "src/util/thread_pool.hpp" ||
+      file.rel == "src/util/thread_pool.cpp") {
+    return;
+  }
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    for (const char* tok :
+         {"std::jthread", "std::async", "pthread_create"}) {
+      if (find_token(code, tok) != std::string::npos) {
+        report(ctx, file, static_cast<int>(i), "thread",
+               std::string("raw threading primitive '") + tok +
+                   "'; route parallelism through util/thread_pool.hpp");
+      }
+    }
+    const std::size_t pos = find_token(code, "std::thread");
+    if (pos != std::string::npos) {
+      // std::thread::hardware_concurrency is a read-only query.
+      std::size_t after = pos + std::string("std::thread").size();
+      while (after < code.size() && code[after] == ' ') ++after;
+      if (code.compare(after, 23, "::hardware_concurrency(") != 0) {
+        report(ctx, file, static_cast<int>(i), "thread",
+               "raw threading primitive 'std::thread'; route parallelism "
+               "through util/thread_pool.hpp");
+      }
+    }
+    if (code.find("#pragma") != std::string::npos &&
+        find_token(code, "omp") != std::string::npos) {
+      report(ctx, file, static_cast<int>(i), "thread",
+             "OpenMP pragma; route parallelism through "
+             "util/thread_pool.hpp");
+    }
+    const auto inc = parse_include(file.lines[i].raw);
+    if (inc && inc->angled && (inc->path == "omp.h")) {
+      report(ctx, file, static_cast<int>(i), "thread",
+             "OpenMP header include; route parallelism through "
+             "util/thread_pool.hpp");
+    }
+  }
+}
+
+void rule_random(const Context& ctx, const LexedFile& file) {
+  if (!starts_with(file.rel, "src/") || file.rel == "src/util/rng.hpp") {
+    return;
+  }
+  static const std::vector<std::pair<std::string, std::regex>> kPatterns = {
+      {"std::random_device", std::regex(R"(random_device)")},
+      {"rand()", std::regex(R"((^|[^A-Za-z0-9_])rand\s*\()")},
+      {"srand()", std::regex(R"((^|[^A-Za-z0-9_])srand\s*\()")},
+      {"time()", std::regex(R"((^|[^A-Za-z0-9_.>])time\s*\()")},
+      {"steady_clock::now()", std::regex(R"(steady_clock\s*::\s*now)")},
+      {"system_clock::now()", std::regex(R"(system_clock\s*::\s*now)")},
+      {"high_resolution_clock::now()",
+       std::regex(R"(high_resolution_clock\s*::\s*now)")},
+  };
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    for (const auto& [name, re] : kPatterns) {
+      if (std::regex_search(file.lines[i].code, re)) {
+        report(ctx, file, static_cast<int>(i), "random",
+               "nondeterministic source '" + name +
+                   "'; draw from a seeded util/rng.hpp Rng instead");
+      }
+    }
+  }
+}
+
+void rule_oracle_include(const Context& ctx, const LexedFile& file) {
+  const bool in_ref = starts_with(file.rel, "src/ref/");
+  // bench/ is test-adjacent tooling: it deliberately times the same
+  // differential corpus the property suites run (PR 2), so it may
+  // include tests/proptest/.  Production code (src/, tools/) may not.
+  const bool in_tests =
+      starts_with(file.rel, "tests/") || starts_with(file.rel, "bench/");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const auto inc = parse_include(file.lines[i].raw);
+    if (!inc || inc->angled) continue;  // angled = standard library
+    const auto resolved =
+        resolve_include(file.rel, inc->path, *ctx.file_set);
+    if (in_ref &&
+        (!resolved || !starts_with(*resolved, "src/ref/"))) {
+      report(ctx, file, static_cast<int>(i), "oracle-include",
+             "src/ref/ must stay oracle-independent: include \"" +
+                 inc->path + "\" is not a src/ref/ or standard header");
+    }
+    if (!in_tests && resolved && starts_with(*resolved, "tests/")) {
+      report(ctx, file, static_cast<int>(i), "oracle-include",
+             "non-test code includes \"" + inc->path + "\" from tests/");
+    }
+  }
+}
+
+void rule_narrow(const Context& ctx, const LexedFile& file) {
+  if (!starts_with(file.rel, "src/core/") &&
+      !starts_with(file.rel, "src/nn/")) {
+    return;
+  }
+  static const std::regex kStatic(
+      R"(static_cast<\s*(::)?(std::)?u?int(8|16|32)_t\s*>)");
+  static const std::regex kCStyle(
+      R"(\(\s*(::)?(std::)?u?int(8|16|32)_t\s*\)\s*[A-Za-z0-9_(+~!-])");
+  static const std::regex kFunctional(
+      R"((^|[^A-Za-z0-9_:<,])(std::)?u?int(8|16|32)_t\s*\()");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    std::smatch m;
+    if (std::regex_search(code, m, kStatic) ||
+        std::regex_search(code, m, kCStyle) ||
+        std::regex_search(code, m, kFunctional)) {
+      report(ctx, file, static_cast<int>(i), "narrow",
+             "narrowing cast to an int8/int4-carrying type; justify with "
+             "'// drift-lint: allow(narrow) — <why the value fits>'");
+    }
+  }
+}
+
+void rule_index(const Context& ctx, const LexedFile& file) {
+  if (!starts_with(file.rel, "src/")) return;
+  static const std::regex kRawIndex(R"(\.data\(\)\s*\[)");
+  std::vector<int> block_starts;  // computed lazily: most files are clean
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    if (!std::regex_search(file.lines[i].code, kRawIndex)) continue;
+    if (block_starts.empty()) block_starts = enclosing_block_starts(file);
+    // Namespace/file scope has no enclosing function: same line only.
+    const int start =
+        block_starts[i] >= 0 ? block_starts[i] : static_cast<int>(i);
+    bool checked = false;
+    for (int l = start; l <= static_cast<int>(i); ++l) {
+      if (file.lines[static_cast<std::size_t>(l)].code.find("DRIFT_CHECK") !=
+          std::string::npos) {
+        checked = true;
+        break;
+      }
+    }
+    if (!checked) {
+      report(ctx, file, static_cast<int>(i), "index",
+             "raw .data()[...] indexing with no DRIFT_CHECK in the "
+             "enclosing function; use at()/operator() or add "
+             "DRIFT_CHECK_INDEX");
+    }
+  }
+}
+
+void rule_logging(const Context& ctx, const LexedFile& file) {
+  if (!starts_with(file.rel, "src/")) return;
+  static const std::regex kStdio(R"((^|[^A-Za-z0-9_:])(printf|fprintf|puts)\s*\()");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    for (const char* tok : {"std::cout", "std::cerr", "std::clog"}) {
+      if (find_token(code, tok) != std::string::npos) {
+        report(ctx, file, static_cast<int>(i), "logging",
+               std::string("direct stream output '") + tok +
+                   "'; use util/logging.hpp (DRIFT_LOG_*)");
+      }
+    }
+    if (std::regex_search(code, kStdio)) {
+      report(ctx, file, static_cast<int>(i), "logging",
+             "direct stdio output; use util/logging.hpp (DRIFT_LOG_*)");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> run_rules(const std::vector<LexedFile>& files) {
+  std::unordered_set<std::string> file_set;
+  for (const auto& f : files) file_set.insert(f.rel);
+
+  std::vector<Violation> all;
+  for (const auto& file : files) {
+    std::vector<Violation> raw;
+    Context ctx{&file_set, &raw};
+    rule_thread(ctx, file);
+    rule_random(ctx, file);
+    rule_oracle_include(ctx, file);
+    rule_narrow(ctx, file);
+    rule_index(ctx, file);
+    rule_logging(ctx, file);
+
+    const Suppressions sup = parse_suppressions(file);
+    for (auto& v : raw) {
+      const auto it = sup.allowed.find(v.line - 1);
+      if (it != sup.allowed.end() && it->second.count(v.rule)) continue;
+      all.push_back(std::move(v));
+    }
+    // Suppression hygiene problems are never themselves suppressible.
+    for (const auto& v : sup.violations) all.push_back(v);
+  }
+  std::sort(all.begin(), all.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return all;
+}
+
+}  // namespace drift::lint

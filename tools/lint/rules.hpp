@@ -1,0 +1,55 @@
+// drift_lint rule engine.
+//
+// Rule catalog (see DESIGN.md "Static analysis" for rationale):
+//
+//   thread          std::thread / std::jthread / std::async / OpenMP /
+//                   pthread_create anywhere except src/util/thread_pool.*
+//                   (std::thread::hardware_concurrency is a read-only
+//                   query and stays legal).
+//   random          std::random_device, rand(), srand(), time(),
+//                   *_clock::now() inside src/ outside util/rng.hpp —
+//                   every stochastic or timing decision must flow
+//                   through the seeded Rng (bit-identical replays).
+//   oracle-include  src/ref/ may include only src/ref/ and standard
+//                   headers, and no non-test code may include anything
+//                   that resolves into tests/.
+//   narrow          casts (C-style or static_cast) to 8/16/32-bit
+//                   integer types in src/core/ and src/nn/ — the
+//                   int4/int8 code-carrying types — must carry an
+//                   allow(narrow) suppression justifying why the value
+//                   cannot overflow.
+//   index           .data()[...] indexing with no DRIFT_CHECK* in the
+//                   enclosing function (src/ only); use at()/operator()
+//                   or add an explicit range check.
+//   logging         printf/fprintf/puts/std::cout/std::cerr/std::clog
+//                   in src/ — use util/logging.hpp.
+//   suppression     a drift-lint allow comment that names an unknown
+//                   rule or carries no justification text.  Not itself
+//                   suppressible.
+//
+// Suppressions are written `allow(narrow) — why this is safe` after a
+// "drift-lint" colon marker, on the violating line or on a comment-only
+// line directly above it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexed_file.hpp"
+
+namespace drift::lint {
+
+struct Violation {
+  std::string file;  ///< path relative to the lint root
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Runs every rule over `files` and returns the surviving (unsuppressed)
+/// violations sorted by (file, line, rule).  `files` must hold the
+/// complete walked set: include resolution only consults this set, so
+/// the engine is hermetic with respect to the filesystem.
+std::vector<Violation> run_rules(const std::vector<LexedFile>& files);
+
+}  // namespace drift::lint
