@@ -10,12 +10,18 @@
 #include <vector>
 
 #include "accel/compare.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace drift;
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Ablation D: array geometry scaling ===\n\n");
 
   struct Geometry {
@@ -68,5 +74,5 @@ int main() {
       "the split-array benefit is architectural, not a tuning artifact —\n"
       "while extreme aspect ratios (8x99, 24x8) erode both designs by\n"
       "starving one GEMM dimension.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

@@ -12,13 +12,19 @@
 #include "accel/compare.hpp"
 #include "core/noise_budget.hpp"
 #include "nn/synthetic.hpp"
+#include "obs/report.hpp"
 #include "tensor/subtensor.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace drift;
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Ablation C: granularity and flexible precision ===\n\n");
 
   // (a) Granularity: finer sub-tensors adapt better (higher 4-bit
@@ -82,5 +88,5 @@ int main() {
       "takeaway: per-row granularity maximizes coverage; INT3 trades\n"
       "coverage for cheaper MACs, INT5 the reverse — the BG fabric\n"
       "supports all of them (Section 5.3).\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

@@ -10,12 +10,18 @@
 
 #include "accel/drift_accel.hpp"
 #include "nn/precision_mix.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace drift;
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Ablation A: balanced online scheduling ===\n\n");
 
   accel::AccelConfig hw;
@@ -56,5 +62,5 @@ int main() {
       "takeaway: load balancing is worth a sizable latency factor over a\n"
       "fixed split, and the greedy sweep matches the exhaustive oracle to\n"
       "within a few percent at O(R+C) instead of O(R*C) evaluations.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

@@ -12,12 +12,18 @@
 
 #include "accel/compare.hpp"
 #include "nn/proxy.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace drift;
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Ablation B: threshold (noise budget) sweep ===\n\n");
 
   const std::vector<double> budgets = {0.001, 0.002, 0.005, 0.01,
@@ -73,5 +79,5 @@ int main() {
       "saturate (free lc=0 conversions dominate), while accuracy falls off\n"
       "a cliff past the tolerance — hence 'minimum threshold with\n"
       "negligible impact'.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

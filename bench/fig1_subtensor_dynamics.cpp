@@ -15,9 +15,11 @@
 #include <string>
 #include <vector>
 
+#include "nn/synthetic.hpp"
+#include "obs/report.hpp"
 #include "stats/fit.hpp"
 #include "stats/histogram.hpp"
-#include "nn/synthetic.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -86,7 +88,11 @@ FamilyReport profile_family(const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Figure 1: sub-tensor dynamics and distribution ===\n\n");
 
   TextTable per_subtensor({"family", "sub-tensor", "max|Y|", "var(Y)",
@@ -130,5 +136,5 @@ int main() {
 
   std::printf("paper claim check: sub-tensors span wide ranges and are\n"
               "Laplace-preferred (KS(Laplace) < KS(Normal), kurtosis ~ +3).\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

@@ -17,7 +17,9 @@
 #include "core/analytical_model.hpp"
 #include "core/scheduler.hpp"
 #include "nn/precision_mix.hpp"
+#include "obs/report.hpp"
 #include "systolic/stall_model.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -45,7 +47,11 @@ std::vector<bool> make_pattern(std::int64_t rows, bool contiguous) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Figure 2: data-flow stalls under dynamic precision ===\n\n");
 
   const core::ArrayDims array{24, 33};
@@ -91,9 +97,8 @@ int main() {
     // pays backpressure stalls behind slow rows.
     {
       const auto costs = systolic::costs_from_pattern(pattern, 1, 2);
-      const std::int64_t k_tiles = (K + array.rows - 1) / array.rows;
-      const std::int64_t n_tiles =
-          (8 * N + 16 * array.cols - 1) / (16 * array.cols);
+      const std::int64_t k_tiles = core::ws_k_tiles(K, 4.0, array.rows);
+      const std::int64_t n_tiles = core::ws_n_tiles(N, 8.0, array.cols);
       const std::int64_t stages = array.rows + array.cols - 1;
       const std::int64_t per_tile =
           array.rows + systolic::pipeline_exit_cycles(costs, stages);
@@ -106,9 +111,8 @@ int main() {
     // Policy 3: DRQ variable-speed array.
     {
       const auto run = systolic::run_switching_exe_cycles(pattern, 1, 2, 4);
-      const std::int64_t k_tiles = (K + array.rows - 1) / array.rows;
-      const std::int64_t n_tiles =
-          (8 * N + 16 * array.cols - 1) / (16 * array.cols);
+      const std::int64_t k_tiles = core::ws_k_tiles(K, 4.0, array.rows);
+      const std::int64_t n_tiles = core::ws_n_tiles(N, 8.0, array.cols);
       const std::int64_t per_tile =
           array.rows + run.exe_cycles + (array.rows + array.cols - 2);
       emit(run.fell_back_to_high ? "DRQ variable-speed (fell back)"
@@ -135,5 +139,5 @@ int main() {
               "benefit only for contiguous patterns; on scattered patterns\n"
               "it degenerates to static INT8 while Drift's split arrays\n"
               "retain the speedup.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

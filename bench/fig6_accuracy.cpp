@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "nn/proxy.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -52,7 +54,11 @@ double search_budget(const ModelEntry& model, double acc_int8,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Figure 6: accuracy and 4-bit percentage ===\n\n");
 
   std::vector<ModelEntry> models;
@@ -142,5 +148,5 @@ int main() {
       "paper claim check: DRQ tracks INT8 on the CNN rows but collapses on\n"
       "the ViT/BERT rows (paper: >12%% drop); Drift stays near INT8 on all\n"
       "rows while executing a large 4-bit share.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

@@ -9,12 +9,18 @@
 #include <cstdio>
 
 #include "accel/compare.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace drift;
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Figure 7: latency speedup over Eyeriss ===\n\n");
 
   accel::CompareConfig cfg;
@@ -61,5 +67,5 @@ int main() {
       "paper claim check (shape): Drift ~9.57x over Eyeriss, ~2.85x over\n"
       "BitFusion, ~1.64x over DRQ on average; DRQ nearly flat vs BitFusion\n"
       "on ViT-B (1.07x in the paper) but clearly ahead on the CNNs.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

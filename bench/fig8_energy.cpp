@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "accel/compare.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -29,7 +31,11 @@ void add_breakdown_row(TextTable& table, CsvWriter& csv,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Figure 8: normalized energy and breakdown ===\n\n");
 
   accel::CompareConfig cfg;
@@ -77,5 +83,5 @@ int main() {
   std::printf(
       "\npaper claim check (shape): energy ordering Drift < DRQ < BitFusion\n"
       "< Eyeriss, with Drift's static share below DRQ's.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/noise_budget.hpp"
@@ -25,7 +26,9 @@
 #include "nn/gemm.hpp"
 #include "nn/int_gemm.hpp"
 #include "nn/synthetic.hpp"
+#include "obs/report.hpp"
 #include "proptest/proptest.hpp"
+#include "util/args.hpp"
 #include "ref/ref_kernels.hpp"
 #include "ref/ref_oracles.hpp"
 #include "ref/ref_quant.hpp"
@@ -392,15 +395,38 @@ void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --metrics-out / --trace-out are ours, not google-benchmark's:
+  // consume them first and hide them from benchmark::Initialize, which
+  // rejects flags it does not recognize.
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--metrics-out", 0) == 0 ||
+        arg.rfind("--trace-out", 0) == 0) {
+      if ((arg == "--metrics-out" || arg == "--trace-out") &&
+          i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        ++i;  // separated-value form: skip the value token too
+      }
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+
   // The differential corpus always runs (it doubles as a smoke test of
   // the oracles); mismatches fail the binary after the benchmarks.
   const std::vector<CorpusResult> corpus = run_proptest_corpus();
   int corpus_mismatches = 0;
   for (const auto& c : corpus) corpus_mismatches += c.mismatches;
   if (!std::getenv("DRIFT_SKIP_KERNEL_SWEEP")) run_kernel_sweep(corpus);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return corpus_mismatches > 0 ? 1 : 0;
+  const bool artifacts_ok = artifacts.write();
+  return corpus_mismatches > 0 || !artifacts_ok ? 1 : 0;
 }

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "nn/proxy.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -29,7 +31,11 @@ nn::QuantEngine make_engine(nn::QuantMode mode, double budget = 0.02) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== Table 1: LLM perplexity (proxy) ===\n\n");
 
   struct ModelSpec {
@@ -94,5 +100,5 @@ int main() {
       "paper claim check: Ours tracks INT8 perplexity closely (Table 1:\n"
       "GPT2-XL 18.12 vs 18.29; BLOOM slightly above INT8) while executing\n"
       "a substantial share of computation at 4 bits.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

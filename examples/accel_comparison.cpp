@@ -9,6 +9,8 @@
 #include <string>
 
 #include "accel/compare.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
 using namespace drift;
@@ -29,6 +31,10 @@ nn::WorkloadSpec pick_model(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   const std::string model = argc > 1 ? argv[1] : "resnet18";
   const auto spec = pick_model(model);
   std::printf("=== accelerator comparison: %s ===\n\n", spec.model.c_str());
@@ -67,5 +73,5 @@ int main(int argc, char** argv) {
   }
   std::printf("Drift per-layer detail (first %zu layers):\n%s\n", shown,
               detail.to_string().c_str());
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

@@ -6,11 +6,17 @@
 #include "accel/drift_accel.hpp"
 #include "core/scheduler.hpp"
 #include "nn/precision_mix.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
 using namespace drift;
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== GPT2-XL layer study ===\n\n");
 
   const auto spec = nn::make_gpt2_xl();
@@ -47,5 +53,5 @@ int main() {
       "weight-side cuts (small c keeps the high-precision columns on a\n"
       "narrow slice); the attention score/context layers, whose second\n"
       "operand is itself an activation, still split dynamically.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

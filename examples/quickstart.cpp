@@ -14,12 +14,20 @@
 #include "core/noise_budget.hpp"
 #include "core/scheduler.hpp"
 #include "nn/synthetic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "tensor/subtensor.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
 using namespace drift;
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+  DRIFT_OBS_LAYER_SCOPE("quickstart.encoder");
+
   // 1. A [tokens x hidden] activation matrix with BERT-like statistics.
   Rng rng(42);
   const std::int64_t tokens = 128, hidden = 768;
@@ -85,5 +93,5 @@ int main() {
               static_cast<long long>(baseline),
               static_cast<double>(baseline) /
                   static_cast<double>(split.makespan));
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

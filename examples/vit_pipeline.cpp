@@ -6,11 +6,17 @@
 
 #include "accel/compare.hpp"
 #include "nn/proxy.hpp"
+#include "obs/report.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
 using namespace drift;
 
-int main() {
+int main(int argc, char** argv) {
+  // --metrics-out / --trace-out artifact surface (README "Observability").
+  const Args args = Args::parse(argc, argv);
+  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
+
   std::printf("=== ViT pipeline: accuracy and hardware, one model ===\n\n");
 
   // Functional side: the transformer proxy under every mode.
@@ -63,5 +69,5 @@ int main() {
               "scattered token precision defeats a single variable-speed\n"
               "array (Figure 2) — while Drift's split arrays deliver both\n"
               "the speedup and the energy cut.\n");
-  return 0;
+  return artifacts.write() ? 0 : 1;
 }

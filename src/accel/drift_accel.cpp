@@ -5,6 +5,9 @@
 
 #include "accel/fabric.hpp"
 #include "accel/traffic.hpp"
+#include "core/analytical_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace drift::accel {
@@ -50,6 +53,8 @@ RunResult DriftAccelModel::run(const nn::WorkloadSpec& spec,
   BitGroupFabric fabric(array);
 
   for (const nn::LayerMix& mix : mixes) {
+    DRIFT_OBS_LAYER_SCOPE(mix.layer.name);
+    DRIFT_OBS_SPAN("drift_accel.layer");
     const core::GemmDims& dims = mix.layer.dims;
     LayerResult lr;
     lr.layer = mix.layer.name;
@@ -78,15 +83,12 @@ RunResult DriftAccelModel::run(const nn::WorkloadSpec& spec,
     // full grid (each quadrant tiles its own share; the aggregate is
     // the same to first order).
     const OperandBits bits = operand_bits_from_work(work);
-    const std::int64_t k_tiles = static_cast<std::int64_t>(std::ceil(
-        bits.act_bits * static_cast<double>(dims.K) /
-        static_cast<double>(4 * array.rows)));
-    const std::int64_t n_tiles = static_cast<std::int64_t>(std::ceil(
-        bits.weight_bits * static_cast<double>(dims.N) /
-        static_cast<double>(16 * array.cols)));
+    const std::int64_t k_tiles =
+        core::ws_k_tiles(dims.K, bits.act_bits, array.rows);
+    const std::int64_t n_tiles =
+        core::ws_n_tiles(dims.N, bits.weight_bits, array.cols);
     const LayerTraffic traffic =
-        compute_traffic(dims, bits, std::max<std::int64_t>(n_tiles, 1),
-                        std::max<std::int64_t>(k_tiles, 1), config_);
+        compute_traffic(dims, bits, n_tiles, k_tiles, config_);
     const DramOutcome mem = dram_outcome(traffic, dram);
 
     lr.dram_cycles = mem.core_cycles;
@@ -102,6 +104,12 @@ RunResult DriftAccelModel::run(const nn::WorkloadSpec& spec,
     lr.energy.core_pj = core_energy_pj(work, ec) * mix.layer.repeat;
     lr.energy.buffer_pj = buffer_energy_pj(traffic, ec) * mix.layer.repeat;
     lr.energy.dram_pj = mem.energy_pj * mix.layer.repeat;
+
+    DRIFT_OBS_COUNT("accel.layers", 1);
+    DRIFT_OBS_COUNT("accel.compute_cycles", lr.compute_cycles);
+    DRIFT_OBS_COUNT("accel.stall_cycles", lr.stall_cycles);
+    DRIFT_OBS_LAYER(rec, rec->compute_cycles += lr.compute_cycles;
+                    rec->stall_cycles += lr.stall_cycles);
 
     result.cycles += lr.cycles;
     result.stall_cycles += lr.stall_cycles * mix.layer.repeat;

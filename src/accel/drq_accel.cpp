@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "accel/traffic.hpp"
+#include "core/analytical_model.hpp"
 #include "systolic/stall_model.hpp"
 #include "util/assert.hpp"
 
@@ -35,8 +36,10 @@ RunResult DrqAccelModel::run(const nn::WorkloadSpec& spec,
     const auto run = systolic::run_switching_exe_cycles(
         mix.row_is_low, /*low_cost=*/1, /*high_cost=*/2,
         kSpeedSwitchPenalty);
-    const std::int64_t k_tiles = (dims.K + R - 1) / R;
-    const std::int64_t n_tiles = (8 * dims.N + 16 * C - 1) / (16 * C);
+    // K tiles at the 4-bit rhythm (ceil(K/R) == ceil(4K/4R)), weight
+    // (N) tiles at the stored 8-bit width; shared Eq. 7 ceilings.
+    const std::int64_t k_tiles = core::ws_k_tiles(dims.K, 4.0, R);
+    const std::int64_t n_tiles = core::ws_n_tiles(dims.N, 8.0, C);
     const std::int64_t per_tile = R + run.exe_cycles + (R + C - 2);
     lr.compute_cycles = per_tile * k_tiles * n_tiles;
     lr.stall_cycles = run.stall_cycles * k_tiles * n_tiles;

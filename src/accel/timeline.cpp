@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace drift::accel {
@@ -41,6 +43,25 @@ TimelineResult build_timeline(const std::vector<TimelineLayer>& layers) {
   result.total_cycles = prev_compute_end;
   result.overlap_fraction =
       dram_total > 0.0 ? 1.0 - dram_exposed / dram_total : 1.0;
+
+  DRIFT_OBS_COUNT("timeline.builds", 1);
+  DRIFT_OBS_COUNT("timeline.total_cycles", result.total_cycles);
+#ifndef DRIFT_OBS_OFF
+  // Render the double-buffered schedule on the simulated-cycle tracks
+  // (pid 1, 1 cycle == 1 "µs") so chrome://tracing shows DMA prefetch
+  // overlapping compute exactly as the model scheduled it.
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    const std::uint32_t dram_tid = tracer.sim_track("timeline.dram");
+    const std::uint32_t compute_tid = tracer.sim_track("timeline.compute");
+    for (const TimelineEntry& e : result.entries) {
+      tracer.complete(e.name + " [dram]", dram_tid, e.dram_start,
+                      e.dram_end - e.dram_start);
+      tracer.complete(e.name + " [compute]", compute_tid, e.compute_start,
+                      e.compute_end - e.compute_start);
+    }
+  }
+#endif
   return result;
 }
 

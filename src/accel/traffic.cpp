@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace drift::accel {
@@ -49,6 +50,12 @@ LayerTraffic compute_traffic(const core::GemmDims& dims,
   const std::int64_t psum_bytes = dims.M * dims.N * 4 * (k_tiles - 1);
   t.buffer_write_bytes = act_bytes + weight_bytes + out_bytes + psum_bytes;
   t.buffer_read_bytes = act_bytes * n_tiles + weight_bytes + psum_bytes;
+
+  DRIFT_OBS_COUNT("traffic.gemms", 1);
+  DRIFT_OBS_COUNT("traffic.dram_bytes", t.dram_bytes());
+  DRIFT_OBS_COUNT("traffic.buffer_read_bytes", t.buffer_read_bytes);
+  DRIFT_OBS_COUNT("traffic.buffer_write_bytes", t.buffer_write_bytes);
+  DRIFT_OBS_LAYER(rec, rec->dram_bytes += t.dram_bytes());
   return t;
 }
 

@@ -54,4 +54,13 @@ std::int64_t ws_latency_cycles(const GemmDims& gemm, int pa, int pw,
 std::int64_t ws_tile_repetitions(const GemmDims& gemm, int pa, int pw,
                                  const ArrayDims& array);
 
+/// The per-axis ceilings behind ws_tile_repetitions, exposed so the
+/// accelerator models and benches share one formula instead of
+/// re-deriving them.  `pa_bits`/`pw_bits` may be fractional
+/// (mix-weighted operand widths); integral widths take the exact
+/// integer ceil-div path.  Results are clamped to >= 1: the traffic
+/// model always streams at least one tile per axis.
+std::int64_t ws_k_tiles(std::int64_t k, double pa_bits, std::int64_t rows);
+std::int64_t ws_n_tiles(std::int64_t n, double pw_bits, std::int64_t cols);
+
 }  // namespace drift::core

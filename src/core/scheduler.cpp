@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace drift::core {
@@ -19,6 +21,20 @@ SplitDecision evaluate(const LayerWork& work, const ArrayDims& total,
   d.latency = quadrant_latencies(work, total, r, c);
   d.makespan = makespan_of(d.latency);
   return d;
+}
+
+/// Publishes a scheduler decision to the metrics layer.  Compiles to
+/// nothing under DRIFT_OBS_OFF (every statement is an obs macro).
+inline void record_decision(const LayerWork& work, const ArrayDims& total,
+                            const SplitDecision& d) {
+  (void)work;  // referenced only by the obs macros below, which expand
+  (void)total; // to nothing under DRIFT_OBS_OFF
+  (void)d;
+  DRIFT_OBS_COUNT("scheduler.decisions", 1);
+  DRIFT_OBS_LAYER(
+      rec, rec->sched_r = d.r; rec->sched_c = d.c;
+      rec->sched_latency = d.latency; rec->sched_makespan = d.makespan;
+      rec->tile_count = quadrant_tile_counts(work, total, d.r, d.c));
 }
 
 }  // namespace
@@ -45,7 +61,31 @@ std::array<std::int64_t, 4> quadrant_latencies(const LayerWork& work,
   };
 }
 
+std::array<std::int64_t, 4> quadrant_tile_counts(const LayerWork& work,
+                                                 const ArrayDims& total,
+                                                 std::int64_t r,
+                                                 std::int64_t c) {
+  DRIFT_CHECK(r >= 0 && r <= total.rows, "row split out of range");
+  DRIFT_CHECK(c >= 0 && c <= total.cols, "column split out of range");
+  const GemmDims hh{work.m_high, work.k, work.n_high};
+  const GemmDims hl{work.m_high, work.k, work.n_low};
+  const GemmDims lh{work.m_low, work.k, work.n_high};
+  const GemmDims ll{work.m_low, work.k, work.n_low};
+  const auto reps = [](const GemmDims& g, int pa, int pw,
+                       const ArrayDims& a) -> std::int64_t {
+    if (g.empty()) return 0;
+    return ws_tile_repetitions(g, pa, pw, a);
+  };
+  return {
+      reps(hh, work.pa_high, work.pw_high, {r, c}),
+      reps(hl, work.pa_high, work.pw_low, {r, total.cols - c}),
+      reps(lh, work.pa_low, work.pw_high, {total.rows - r, c}),
+      reps(ll, work.pa_low, work.pw_low, {total.rows - r, total.cols - c}),
+  };
+}
+
 SplitDecision schedule_greedy(const LayerWork& work, const ArrayDims& total) {
+  DRIFT_OBS_SPAN("scheduler.greedy");
   DRIFT_CHECK(total.rows > 0 && total.cols > 0, "empty array");
   // Feasible split band: a non-empty class must receive at least one
   // row/column slice.
@@ -93,11 +133,13 @@ SplitDecision schedule_greedy(const LayerWork& work, const ArrayDims& total) {
     if (round_best.makespan >= best.makespan) break;
     best = round_best;
   }
+  record_decision(work, total, best);
   return best;
 }
 
 SplitDecision schedule_exhaustive(const LayerWork& work,
                                   const ArrayDims& total) {
+  DRIFT_OBS_SPAN("scheduler.exhaustive");
   DRIFT_CHECK(total.rows > 0 && total.cols > 0, "empty array");
   SplitDecision best = evaluate(work, total, 0, 0);
   for (std::int64_t r = 0; r <= total.rows; ++r) {
@@ -106,6 +148,7 @@ SplitDecision schedule_exhaustive(const LayerWork& work,
       if (d.makespan < best.makespan) best = d;
     }
   }
+  record_decision(work, total, best);
   return best;
 }
 
@@ -119,7 +162,9 @@ SplitDecision schedule_fixed_quarters(const LayerWork& work,
   if (work.m_low == 0) r = total.rows;
   if (work.n_high == 0) c = 0;
   if (work.n_low == 0) c = total.cols;
-  return evaluate(work, total, r, c);
+  const SplitDecision d = evaluate(work, total, r, c);
+  record_decision(work, total, d);
+  return d;
 }
 
 }  // namespace drift::core

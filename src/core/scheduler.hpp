@@ -62,6 +62,14 @@ std::array<std::int64_t, 4> quadrant_latencies(const LayerWork& work,
                                                std::int64_t r,
                                                std::int64_t c);
 
+/// Weight-tile repetition count of each quadrant (the ceil factors of
+/// Equation 7) for a chosen split; 0 for empty quadrants.  This is the
+/// per-precision-class tile count the metrics layer reports.
+std::array<std::int64_t, 4> quadrant_tile_counts(const LayerWork& work,
+                                                 const ArrayDims& total,
+                                                 std::int64_t r,
+                                                 std::int64_t c);
+
 /// Greedy balanced scheduler: alternating 1-D sweeps over r (with c
 /// fixed) and c (with r fixed) until the makespan stops improving.
 /// O(R + C) evaluations per sweep.

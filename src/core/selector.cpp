@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/capability.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -108,7 +110,25 @@ PrecisionMap::PrecisionMap(std::vector<PrecisionDecision> decisions,
       low_elements_ += sizes_[i];
       ++low_count_;
     }
+    // Clip-split histograms (hc + lc == hp - lp per Eq. 5); handles are
+    // cached by the macros, so this stays one sharded add per decision.
+    DRIFT_OBS_HISTOGRAM("selector.hc_clip",
+                        decisions_[i].choice.hc, 0, 1, 2, 3, 4, 5, 6, 7, 8);
+    DRIFT_OBS_HISTOGRAM("selector.lc_clip",
+                        decisions_[i].choice.lc, 0, 1, 2, 3, 4, 5, 6, 7, 8);
   }
+  DRIFT_OBS_COUNT("selector.maps", 1);
+  DRIFT_OBS_COUNT("selector.subtensors_total",
+                  static_cast<std::int64_t>(decisions_.size()));
+  DRIFT_OBS_COUNT("selector.subtensors_low",
+                  static_cast<std::int64_t>(low_count_));
+  DRIFT_OBS_COUNT("selector.elements_total", total_elements_);
+  DRIFT_OBS_COUNT("selector.elements_low", low_elements_);
+  DRIFT_OBS_LAYER(
+      rec, rec->subtensors_total += static_cast<std::int64_t>(decisions_.size());
+      rec->subtensors_low += static_cast<std::int64_t>(low_count_);
+      rec->elements_total += total_elements_;
+      rec->elements_low += low_elements_);
 }
 
 const PrecisionDecision& PrecisionMap::decision(std::size_t i) const {
@@ -136,6 +156,7 @@ double PrecisionMap::low_fraction_by_elements() const {
 PrecisionMap DynamicQuantizer::select(std::span<const float> values,
                                       const std::vector<SubTensorView>& views,
                                       const QuantParams& params) const {
+  DRIFT_OBS_SPAN("selector.select");
   DRIFT_CHECK_EQ(params.bits, config_.hp,
                  "quant params precision must match selector hp");
   std::vector<PrecisionDecision> decisions(views.size());
@@ -155,6 +176,7 @@ PrecisionMap DynamicQuantizer::select(std::span<const float> values,
 std::vector<float> DynamicQuantizer::apply(
     std::span<const float> values, const std::vector<SubTensorView>& views,
     const QuantParams& params, const PrecisionMap& map) const {
+  DRIFT_OBS_SPAN("selector.apply");
   DRIFT_CHECK_EQ(views.size(), map.num_subtensors(),
                  "view/map count mismatch");
   std::vector<float> out(values.size());

@@ -89,6 +89,8 @@ class PrecisionMap {
   double low_fraction_by_elements() const;
 
   std::int64_t total_elements() const { return total_elements_; }
+  std::int64_t low_elements() const { return low_elements_; }
+  std::size_t low_subtensors() const { return low_count_; }
 
  private:
   std::vector<PrecisionDecision> decisions_;

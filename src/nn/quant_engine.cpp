@@ -1,6 +1,8 @@
 #include "nn/quant_engine.hpp"
 
 #include "core/noise_budget.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -39,6 +41,8 @@ std::string to_string(QuantMode mode) {
 
 OperandResult QuantEngine::process_with_views(
     const TensorF& x, const std::vector<SubTensorView>& views) const {
+  DRIFT_OBS_SPAN("quant_engine.operand");
+  DRIFT_OBS_COUNT("quant_engine.operands", 1);
   OperandResult result;
   switch (config_.mode) {
     case QuantMode::kFloat32: {

@@ -1,0 +1,296 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace drift::obs {
+
+namespace detail {
+
+int this_thread_shard() {
+  // Shards are handed out round-robin in thread-creation order; a
+  // thread keeps its shard for life, so two adds from the same thread
+  // never race beyond the relaxed atomic.
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+std::uint64_t Gauge::encode(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v, "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double Gauge::decode(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+Histogram::Histogram(std::vector<std::int64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1) {
+  DRIFT_CHECK(!bounds_.empty(), "histogram needs at least one bound");
+  DRIFT_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+              "histogram bounds must be strictly ascending");
+}
+
+std::size_t Histogram::bucket_index(std::int64_t v) const {
+  // First bound >= v; the overflow bucket catches v beyond the last.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+std::vector<std::int64_t> Histogram::counts() const {
+  std::vector<std::int64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.value());
+  return out;
+}
+
+std::int64_t Histogram::total_count() const {
+  std::int64_t total = 0;
+  for (const auto& b : buckets_) total += b.value();
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.reset();
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<std::int64_t> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return slot.get();
+}
+
+LayerRecord* Registry::layer_record(const std::string& layer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = layer_index_.find(layer);
+  if (it != layer_index_.end()) return it->second;
+  layers_.push_back(std::make_unique<LayerRecord>());
+  layers_.back()->layer = layer;
+  layer_index_[layer] = layers_.back().get();
+  return layers_.back().get();
+}
+
+namespace {
+
+// The active layer record of each thread (LayerScope).  thread_local
+// so concurrent LayerScopes on distinct threads attribute correctly;
+// a worker thread inside parallel_for carries no scope and therefore
+// skips layer attribution (the submitting thread records totals).
+thread_local LayerRecord* tl_current_layer = nullptr;
+
+/// Shortest round-trip decimal rendering (std::to_chars) — the same
+/// bytes on every conforming implementation, unlike printf("%g").
+std::string format_double(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+bool matches_prefixes(const std::string& name,
+                      const std::vector<std::string>& prefixes) {
+  if (prefixes.empty()) return true;
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&name](const std::string& p) {
+                       return name.rfind(p, 0) == 0;
+                     });
+}
+
+void append_layer_json(std::string& out, const LayerRecord& r) {
+  out += "    {";
+  append_json_string(out, "layer");
+  out += ": ";
+  append_json_string(out, r.layer);
+  const auto field = [&out](const char* key, std::int64_t v) {
+    out += ", ";
+    append_json_string(out, key);
+    out += ": " + std::to_string(v);
+  };
+  field("subtensors_total", r.subtensors_total);
+  field("subtensors_low", r.subtensors_low);
+  field("elements_total", r.elements_total);
+  field("elements_low", r.elements_low);
+  out += ", \"coverage\": " + format_double(r.coverage());
+  field("sched_r", r.sched_r);
+  field("sched_c", r.sched_c);
+  out += ", \"sched_latency\": [";
+  for (std::size_t q = 0; q < r.sched_latency.size(); ++q) {
+    out += (q ? ", " : "") + std::to_string(r.sched_latency[q]);
+  }
+  out += "]";
+  field("sched_makespan", r.sched_makespan);
+  out += ", \"tile_count\": [";
+  for (std::size_t q = 0; q < r.tile_count.size(); ++q) {
+    out += (q ? ", " : "") + std::to_string(r.tile_count[q]);
+  }
+  out += "]";
+  field("compute_cycles", r.compute_cycles);
+  field("stall_cycles", r.stall_cycles);
+  field("dram_bytes", r.dram_bytes);
+  out += "}";
+}
+
+}  // namespace
+
+LayerRecord* Registry::current_layer() { return tl_current_layer; }
+
+std::string Registry::to_json(const std::vector<std::string>& prefixes) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!matches_prefixes(name, prefixes)) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!matches_prefixes(name, prefixes)) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + format_double(g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!matches_prefixes(name, prefixes)) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"upper_bounds\": [";
+    const auto& bounds = h->upper_bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      out += (i ? ", " : "") + std::to_string(bounds[i]);
+    }
+    out += "], \"counts\": [";
+    const auto counts = h->counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out += (i ? ", " : "") + std::to_string(counts[i]);
+    }
+    out += "], \"total\": " + std::to_string(h->total_count()) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"layers\": [";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    append_layer_json(out, *layers_[i]);
+  }
+  out += layers_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string Registry::to_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  TextTable layer_table({"layer", "subtensors", "low", "coverage", "r/c",
+                         "makespan", "cycles", "stalls", "DRAM bytes"});
+  for (const auto& l : layers_) {
+    layer_table.add_row(
+        {l->layer, std::to_string(l->subtensors_total),
+         std::to_string(l->subtensors_low), TextTable::pct(l->coverage()),
+         std::to_string(l->sched_r) + "/" + std::to_string(l->sched_c),
+         std::to_string(l->sched_makespan),
+         std::to_string(l->compute_cycles), std::to_string(l->stall_cycles),
+         std::to_string(l->dram_bytes)});
+  }
+  if (!layers_.empty()) {
+    os << "per-layer metrics:\n" << layer_table.to_string() << "\n";
+  }
+  TextTable counter_table({"counter", "value"});
+  for (const auto& [name, c] : counters_) {
+    counter_table.add_row({name, std::to_string(c->value())});
+  }
+  if (!counters_.empty()) {
+    os << "counters:\n" << counter_table.to_string();
+  }
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  layers_.clear();
+  layer_index_.clear();
+}
+
+LayerScope::LayerScope(const std::string& layer) {
+  previous_ = tl_current_layer;
+  tl_current_layer = Registry::global().layer_record(layer);
+}
+
+LayerScope::~LayerScope() { tl_current_layer = previous_; }
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    DRIFT_LOG_ERROR("obs") << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace drift::obs

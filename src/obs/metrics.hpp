@@ -1,0 +1,278 @@
+// Per-layer metrics registry: named monotonic counters, gauges and
+// fixed-bucket histograms, cheap enough for the hot paths.
+//
+// Design:
+//   - *Handles, not names, on the hot path.*  `Registry::counter("x")`
+//     does a mutex-protected map lookup and returns a stable pointer;
+//     instrumented code caches the handle (the DRIFT_OBS_* macros use a
+//     function-local `static`, so the lookup runs once per site).  The
+//     drift_lint `obs` rule rejects lookup-by-string inside loops.
+//   - *Per-thread shards merged on scrape.*  A Counter is an array of
+//     cache-line-padded relaxed atomics indexed by a thread-local shard
+//     id; `add` is one uncontended fetch_add.  Integer addition
+//     commutes exactly, so scraped totals are independent of shard
+//     assignment, thread count, and merge order (pinned by
+//     tests/prop/prop_obs.cpp).
+//   - *Layer attribution via scopes.*  `LayerScope` names the layer the
+//     current thread is processing; instrumented components write into
+//     the active per-layer record (mutex-protected: layer boundaries
+//     are not hot).
+//   - *Compiles out.*  Under -DDRIFT_OBS_OFF every DRIFT_OBS_* macro
+//     expands to nothing, so instrumented kernels are bit-identical and
+//     perf-neutral; the registry type itself stays defined so tooling
+//     code still compiles.
+//
+// Scrape output is canonical JSON: keys sorted, integers verbatim,
+// doubles printed with a fixed shortest-roundtrip format — byte-stable
+// for the golden test in tests/test_obs_golden.cpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace drift::obs {
+
+/// Number of per-thread shards per counter.  Threads hash onto shards
+/// round-robin; 16 covers the pool sizes the repo runs while keeping a
+/// histogram's footprint (shards x buckets) small.
+inline constexpr int kShards = 16;
+
+namespace detail {
+/// Shard index of the calling thread (stable for the thread's life).
+int this_thread_shard();
+
+struct alignas(64) ShardSlot {
+  std::atomic<std::int64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic counter.  add() is hot-path safe; value() merges shards.
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    slots_[static_cast<std::size_t>(detail::this_thread_shard())]
+        .value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  std::int64_t value() const {
+    std::int64_t total = 0;
+    for (const auto& s : slots_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() {
+    for (auto& s : slots_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::ShardSlot, kShards> slots_{};
+};
+
+/// Last-write-wins double gauge (per-run settings, ratios).  Gauges are
+/// set at layer granularity, never inside kernels, so a single atomic
+/// suffices.
+class Gauge {
+ public:
+  void set(double v) { bits_.store(encode(v), std::memory_order_relaxed); }
+  double value() const {
+    return decode(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t encode(double v);
+  static double decode(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram.  Bucket i counts observations in
+/// (bound[i-1], bound[i]]; a final overflow bucket catches everything
+/// above the last bound.  observe() is two loads and one sharded add.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> upper_bounds);
+
+  void observe(std::int64_t v) {
+    buckets_[bucket_index(v)].add(1);
+  }
+
+  const std::vector<std::int64_t>& upper_bounds() const { return bounds_; }
+  /// Merged per-bucket counts; size is upper_bounds().size() + 1 (the
+  /// trailing entry is the overflow bucket).
+  std::vector<std::int64_t> counts() const;
+  std::int64_t total_count() const;
+  void reset();
+
+ private:
+  std::size_t bucket_index(std::int64_t v) const;
+  std::vector<std::int64_t> bounds_;       ///< ascending, strict
+  std::vector<Counter> buckets_;           ///< bounds.size() + 1
+};
+
+/// One layer's scraped attribution record.  All fields are filled by
+/// the instrumentation macros in the components; deterministic for a
+/// fixed seed.
+struct LayerRecord {
+  std::string layer;
+  // Selector / quant engine (activation operand).
+  std::int64_t subtensors_total = 0;
+  std::int64_t subtensors_low = 0;
+  std::int64_t elements_total = 0;
+  std::int64_t elements_low = 0;
+  // Scheduler (Eq. 8 split + Eq. 7 predicted latencies).
+  std::int64_t sched_r = -1;
+  std::int64_t sched_c = -1;
+  std::array<std::int64_t, 4> sched_latency{};  ///< hh, hl, lh, ll
+  std::int64_t sched_makespan = 0;
+  std::array<std::int64_t, 4> tile_count{};     ///< per-class weight tiles
+  // Cycle accounting.
+  std::int64_t compute_cycles = 0;
+  std::int64_t stall_cycles = 0;
+  std::int64_t dram_bytes = 0;
+
+  /// 4-bit coverage ratio (Eq. 5/6 acceptance, element-weighted).
+  double coverage() const {
+    return elements_total > 0
+               ? static_cast<double>(elements_low) /
+                     static_cast<double>(elements_total)
+               : 0.0;
+  }
+};
+
+/// Process-wide metric namespace.
+class Registry {
+ public:
+  static Registry& global();
+
+  /// Lookup-by-string; returns a stable handle.  Cache the result —
+  /// the drift_lint `obs` rule flags calls inside loops.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// First lookup fixes the bucket bounds; later lookups of the same
+  /// name ignore `upper_bounds`.
+  Histogram* histogram(const std::string& name,
+                       std::vector<std::int64_t> upper_bounds);
+
+  /// The record for `layer`, created on first use.  Records keep their
+  /// creation order in scrapes.
+  LayerRecord* layer_record(const std::string& layer);
+
+  /// Layer attribution for the calling thread (set by LayerScope);
+  /// nullptr outside any scope.
+  LayerRecord* current_layer();
+
+  /// Canonical JSON of every metric plus the layer records, for the
+  /// golden tests and the --metrics-out artifacts.  When `prefixes` is
+  /// non-empty, only metrics whose name starts with one of them are
+  /// emitted (layer records are always included) — the golden test
+  /// filters out wall-clock-derived metrics this way.
+  std::string to_json(const std::vector<std::string>& prefixes = {}) const;
+
+  /// Human-readable per-layer table + counter dump (util/table format).
+  std::string to_text() const;
+
+  /// Zeroes every counter/gauge/histogram and drops all layer records.
+  /// Test-only: not safe concurrently with instrumentation.
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::unique_ptr<LayerRecord>> layers_;
+  std::map<std::string, LayerRecord*> layer_index_;
+};
+
+/// RAII layer-attribution scope: instrumented components called while
+/// a scope is alive write into that layer's record.  Nests by
+/// shadowing (inner scope wins, outer restored on exit).
+class LayerScope {
+ public:
+  explicit LayerScope(const std::string& layer);
+  ~LayerScope();
+  LayerScope(const LayerScope&) = delete;
+  LayerScope& operator=(const LayerScope&) = delete;
+
+ private:
+  LayerRecord* previous_ = nullptr;
+};
+
+/// Writes `content` to `path`; returns false (and logs) on I/O error.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace drift::obs
+
+// ---------------------------------------------------------------------
+// Instrumentation macros.  Hot-path cost when enabled: one static-init
+// guard check + one sharded relaxed fetch_add.  Under DRIFT_OBS_OFF
+// they expand to a void cast of nothing, so arguments are not
+// evaluated and the instrumented code is bit-identical to the
+// uninstrumented build.
+// ---------------------------------------------------------------------
+
+#ifndef DRIFT_OBS_OFF
+
+#define DRIFT_OBS_COUNT(name, delta)                                     \
+  do {                                                                   \
+    static ::drift::obs::Counter* drift_obs_c_ =                         \
+        ::drift::obs::Registry::global().counter(name);                  \
+    drift_obs_c_->add(delta);                                            \
+  } while (0)
+
+#define DRIFT_OBS_GAUGE_SET(name, value)                                 \
+  do {                                                                   \
+    static ::drift::obs::Gauge* drift_obs_g_ =                           \
+        ::drift::obs::Registry::global().gauge(name);                    \
+    drift_obs_g_->set(value);                                            \
+  } while (0)
+
+/// Observes `value` in the named histogram; the trailing arguments are
+/// the upper bucket bounds (used only by the first lookup).
+#define DRIFT_OBS_HISTOGRAM(name, value, ...)                            \
+  do {                                                                   \
+    static ::drift::obs::Histogram* drift_obs_h_ =                       \
+        ::drift::obs::Registry::global().histogram(                      \
+            name, std::vector<std::int64_t>{__VA_ARGS__});               \
+    drift_obs_h_->observe(value);                                        \
+  } while (0)
+
+/// Runs the trailing statements with `rec` bound to the current layer
+/// record (skipped entirely when no LayerScope is active).
+#define DRIFT_OBS_LAYER(rec, ...)                                        \
+  do {                                                                   \
+    if (::drift::obs::LayerRecord* rec =                                 \
+            ::drift::obs::Registry::global().current_layer()) {          \
+      __VA_ARGS__;                                                       \
+    }                                                                    \
+  } while (0)
+
+#ifndef DRIFT_OBS_CONCAT
+#define DRIFT_OBS_CONCAT_INNER(a, b) a##b
+#define DRIFT_OBS_CONCAT(a, b) DRIFT_OBS_CONCAT_INNER(a, b)
+#endif
+
+/// Opens a LayerScope for the rest of the enclosing block.
+#define DRIFT_OBS_LAYER_SCOPE(name)                                      \
+  ::drift::obs::LayerScope DRIFT_OBS_CONCAT(drift_obs_layer_,            \
+                                            __LINE__)(name)
+
+#else  // DRIFT_OBS_OFF: everything compiles out, arguments unevaluated.
+
+#define DRIFT_OBS_COUNT(name, delta) do {} while (0)
+#define DRIFT_OBS_GAUGE_SET(name, value) do {} while (0)
+#define DRIFT_OBS_HISTOGRAM(name, value, ...) do {} while (0)
+#define DRIFT_OBS_LAYER(rec, ...) do {} while (0)
+#define DRIFT_OBS_LAYER_SCOPE(name) do {} while (0)
+
+#endif  // DRIFT_OBS_OFF

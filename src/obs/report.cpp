@@ -1,0 +1,44 @@
+#include "obs/report.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/args.hpp"
+#include "util/logging.hpp"
+
+namespace drift::obs {
+
+ReportOptions ReportOptions::from_args(const Args& args) {
+  ReportOptions opts;
+  opts.metrics_path = args.get_string("metrics-out", "");
+  opts.trace_path = args.get_string("trace-out", "");
+  if (!opts.trace_path.empty()) {
+    Tracer::global().set_enabled(true);
+#ifdef DRIFT_OBS_OFF
+    DRIFT_LOG_WARN("obs") << "--trace-out requested but this binary was "
+                             "built with DRIFT_OBS_OFF; the trace will "
+                             "be empty";
+#endif
+  }
+  return opts;
+}
+
+bool ReportOptions::write() const {
+  bool ok = true;
+  if (!metrics_path.empty()) {
+    if (write_file(metrics_path, Registry::global().to_json())) {
+      DRIFT_LOG_INFO("obs") << "metrics written to " << metrics_path;
+    } else {
+      ok = false;
+    }
+  }
+  if (!trace_path.empty()) {
+    if (Tracer::global().write_chrome_trace(trace_path)) {
+      DRIFT_LOG_INFO("obs") << "trace written to " << trace_path;
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace drift::obs

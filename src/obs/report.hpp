@@ -1,0 +1,36 @@
+// Shared --metrics-out / --trace-out handling for the examples and
+// bench binaries, so every CLI exposes the same artifact surface.
+//
+// Usage in a main():
+//   auto artifacts = obs::ReportOptions::from_args(args);  // enables tracing
+//   ... run the pipeline ...
+//   artifacts.write();                                     // emits the files
+//
+// Both functions are compiled in every build; under DRIFT_OBS_OFF the
+// registry and tracer are simply empty, so the artifacts degrade to
+// empty scrapes rather than breaking the CLI contract.
+#pragma once
+
+#include <string>
+
+namespace drift {
+class Args;
+}  // namespace drift
+
+namespace drift::obs {
+
+/// Where (if anywhere) to write the scraped metrics and Chrome trace.
+struct ReportOptions {
+  std::string metrics_path;  ///< --metrics-out; empty means "don't".
+  std::string trace_path;    ///< --trace-out; empty means "don't".
+
+  /// Reads --metrics-out and --trace-out from `args` and, when a trace
+  /// was requested, turns span collection on for the whole run.
+  static ReportOptions from_args(const Args& args);
+
+  /// Writes the requested artifacts (canonical metrics JSON, Chrome
+  /// trace JSON).  Returns false if any requested write failed.
+  bool write() const;
+};
+
+}  // namespace drift::obs

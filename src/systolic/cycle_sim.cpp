@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "systolic/stall_model.hpp"
 #include "util/assert.hpp"
 
@@ -57,11 +59,16 @@ SimResult simulate_tile(const TensorI32& a, const TensorI32& w,
   const std::int64_t no_stall = result.preload_cycles + weighted +
                                 (stages - 1) * row_cost.back();
   result.stall_cycles = result.cycles - no_stall;
+
+  DRIFT_OBS_COUNT("sim.tiles", 1);
+  DRIFT_OBS_COUNT("sim.cycles", result.cycles);
+  DRIFT_OBS_COUNT("sim.stall_cycles", result.stall_cycles);
   return result;
 }
 
 SimResult simulate_gemm(const TensorI32& a, const TensorI32& w,
                         const core::ArrayDims& array) {
+  DRIFT_OBS_SPAN("sim.gemm");
   DRIFT_CHECK_EQ(a.shape().rank(), 2, "GEMM activations must be rank-2");
   DRIFT_CHECK_EQ(w.shape().rank(), 2, "GEMM weights must be rank-2");
   DRIFT_CHECK(array.rows > 0 && array.cols > 0, "empty array");
@@ -100,6 +107,9 @@ SimResult simulate_gemm(const TensorI32& a, const TensorI32& w,
       }
     }
   }
+  DRIFT_OBS_COUNT("sim.gemms", 1);
+  DRIFT_OBS_LAYER(rec, rec->compute_cycles += total.cycles;
+                  rec->stall_cycles += total.stall_cycles);
   return total;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace drift::util {
@@ -61,10 +63,12 @@ void ThreadPool::resize(int n) {
 }
 
 void ThreadPool::run_chunks(Job& job) {
+  DRIFT_OBS_SPAN("pool.chunks");  // per-thread busy window of this job
   tl_in_parallel_region = true;
   for (;;) {
     const std::int64_t c = job.next_chunk.fetch_add(1);
     if (c >= job.num_chunks) break;
+    DRIFT_OBS_COUNT("thread_pool.chunks", 1);
     bool cancelled;
     {
       std::lock_guard<std::mutex> lock(job.error_mutex);
@@ -99,6 +103,13 @@ void ThreadPool::worker_loop() {
     seen_epoch = job_epoch_;
     ++active_workers_;
     lock.unlock();
+#ifndef DRIFT_OBS_OFF
+    // Wake latency from job publication to first chunk claim.  Wall
+    // clock, so deliberately outside the golden-test metric prefixes.
+    DRIFT_OBS_HISTOGRAM("thread_pool.queue_wait_us",
+                        obs::trace_now_us() - job->publish_us,
+                        1, 10, 100, 1000, 10000);
+#endif
     run_chunks(*job);
     lock.lock();
     --active_workers_;
@@ -124,6 +135,7 @@ void ThreadPool::parallel_for(
   // this thread; the decomposition (and therefore the result) is the
   // same as the threaded path.
   if (job.num_chunks == 1 || num_threads_ == 1 || tl_in_parallel_region) {
+    DRIFT_OBS_COUNT("thread_pool.inline_jobs", 1);
     const bool was_in_region = tl_in_parallel_region;
     tl_in_parallel_region = true;
     std::exception_ptr error;
@@ -143,9 +155,13 @@ void ThreadPool::parallel_for(
 
   // One job at a time; concurrent submitters from distinct threads queue
   // here rather than interleaving chunk counters.
+  DRIFT_OBS_COUNT("thread_pool.jobs", 1);
   std::lock_guard<std::mutex> submit_guard(submit_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
+#ifndef DRIFT_OBS_OFF
+    job.publish_us = obs::trace_now_us();
+#endif
     job_ = &job;
     ++job_epoch_;
   }

@@ -66,6 +66,8 @@ class ThreadPool {
     std::atomic<std::int64_t> next_chunk{0};
     std::atomic<std::int64_t> chunks_done{0};
     const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::int64_t publish_us = 0;  ///< obs-only: submit time for the
+                                  ///< queue-wait histogram
     std::mutex error_mutex;
     std::exception_ptr first_error;
   };

@@ -1,0 +1,27 @@
+// Fixture: `obs` rule — registry lookup-by-string inside loops.
+struct FixtureRegistry {
+  int* counter(const char*) { return nullptr; }
+  int* gauge(const char*) { return nullptr; }
+  int* histogram(const char*) { return nullptr; }
+  static FixtureRegistry& global();
+};
+
+void fixture_obs(int n) {
+  for (int i = 0; i < n; ++i) {
+    FixtureRegistry::global().counter("hot.loop");  // violation
+  }
+  int j = 0;
+  while (j < n) {
+    FixtureRegistry::global().histogram("hot.hist");  // violation
+    ++j;
+  }
+  for (int i = 0; i < n; ++i) FixtureRegistry::global().gauge("inline");
+
+  // Legal: the handle is cached once (what DRIFT_OBS_* expand to).
+  for (int i = 0; i < n; ++i) {
+    static int* cached = FixtureRegistry::global().counter("hot.cached");
+    (void)cached;
+  }
+  // Legal: lookup outside any loop.
+  FixtureRegistry::global().counter("cold.path");
+}

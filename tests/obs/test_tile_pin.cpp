@@ -1,0 +1,89 @@
+// Pins the tile-count refactor: the shared core::ws_k_tiles /
+// ws_n_tiles helpers must reproduce, bit-for-bit, every private
+// formula they replaced —
+//   - accel/drift_accel.cpp's double-ceil over mix-weighted fractional
+//     widths (plus its max(.., 1) clamp),
+//   - accel/drq_accel.cpp's and bench/fig2's integer ceil-divisions at
+//     the fixed 4-bit-activation / 8-bit-weight rhythm.
+// The old formulas are reimplemented locally, sharing no code with the
+// helpers under test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/analytical_model.hpp"
+
+namespace drift::core {
+namespace {
+
+/// drift_accel.cpp's pre-refactor activation-tile count.
+std::int64_t old_drift_k_tiles(std::int64_t k, double act_bits,
+                               std::int64_t rows) {
+  const std::int64_t tiles = static_cast<std::int64_t>(std::ceil(
+      act_bits * static_cast<double>(k) / static_cast<double>(4 * rows)));
+  return std::max<std::int64_t>(tiles, 1);
+}
+
+/// drift_accel.cpp's pre-refactor weight-tile count.
+std::int64_t old_drift_n_tiles(std::int64_t n, double weight_bits,
+                               std::int64_t cols) {
+  const std::int64_t tiles = static_cast<std::int64_t>(std::ceil(
+      weight_bits * static_cast<double>(n) / static_cast<double>(16 * cols)));
+  return std::max<std::int64_t>(tiles, 1);
+}
+
+TEST(TilePin, SharedHelpersMatchOldDriftAccelDoubleCeil) {
+  // Mix-weighted widths: integral endpoints plus the fractional values
+  // row/channel-weighted averaging actually produces.
+  const double widths[] = {4.0,  4.25, 4.8, 5.0, 5.5, 6.125,
+                           6.75, 7.0,  7.5, 8.0};
+  for (std::int64_t span : {1, 2, 3, 5, 8, 24, 33}) {
+    for (std::int64_t extent = 1; extent <= 256; ++extent) {
+      for (const double bits : widths) {
+        ASSERT_EQ(ws_k_tiles(extent, bits, span),
+                  old_drift_k_tiles(extent, bits, span))
+            << "k: extent=" << extent << " bits=" << bits
+            << " rows=" << span;
+        ASSERT_EQ(ws_n_tiles(extent, bits, span),
+                  old_drift_n_tiles(extent, bits, span))
+            << "n: extent=" << extent << " bits=" << bits
+            << " cols=" << span;
+      }
+    }
+  }
+}
+
+TEST(TilePin, SharedHelpersMatchOldDrqIntegerCeilDiv) {
+  // drq_accel.cpp / bench/fig2: k_tiles = ceil(K / R) at the 4-bit
+  // rhythm, n_tiles = ceil(8N / 16C) at the stored 8-bit width.
+  for (std::int64_t rows : {1, 2, 3, 7, 16, 24}) {
+    for (std::int64_t cols : {1, 2, 5, 11, 33}) {
+      for (std::int64_t extent = 1; extent <= 200; ++extent) {
+        ASSERT_EQ(ws_k_tiles(extent, 4.0, rows),
+                  (extent + rows - 1) / rows)
+            << "extent=" << extent << " rows=" << rows;
+        ASSERT_EQ(ws_n_tiles(extent, 8.0, cols),
+                  (8 * extent + 16 * cols - 1) / (16 * cols))
+            << "extent=" << extent << " cols=" << cols;
+      }
+    }
+  }
+}
+
+TEST(TilePin, HelpersComposeIntoEqSevenRepetitions) {
+  // ws_tile_repetitions must stay the product of the two axis counts.
+  const GemmDims gemm{17, 29, 41};
+  const ArrayDims array{8, 8};
+  for (int pa : {2, 4, 8}) {
+    for (int pw : {2, 4, 8}) {
+      EXPECT_EQ(ws_tile_repetitions(gemm, pa, pw, array),
+                ws_k_tiles(gemm.K, pa, array.rows) *
+                    ws_n_tiles(gemm.N, pw, array.cols));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drift::core

@@ -111,7 +111,8 @@ std::optional<std::string> resolve_include(
 
 const std::set<std::string>& rule_registry() {
   static const std::set<std::string> kRules = {
-      "thread", "random", "oracle-include", "narrow", "index", "logging"};
+      "thread", "random", "oracle-include", "narrow", "index", "logging",
+      "obs"};
   return kRules;
 }
 
@@ -392,6 +393,75 @@ void rule_logging(const Context& ctx, const LexedFile& file) {
   }
 }
 
+void rule_obs(const Context& ctx, const LexedFile& file) {
+  // Hot paths must cache metric handles: a registry lookup-by-string
+  // (.counter("...") / .gauge / .histogram / .layer_record) pays a
+  // mutex acquisition and a map walk, so calling one per loop
+  // iteration turns instrumentation into contention.  Lines that cache
+  // into a `static` (what the DRIFT_OBS_* macros expand to) are fine.
+  // src/obs/ itself — the macro definitions and the registry — is
+  // exempt.
+  if (!starts_with(file.rel, "src/") || starts_with(file.rel, "src/obs/")) {
+    return;
+  }
+  static const std::regex kLookup(
+      R"(\.\s*(counter|gauge|histogram|layer_record)\s*\()");
+  int loop_depth = 0;
+  std::vector<bool> loop_stack;  // one flag per open brace: loop frame?
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    // Flag before updating brace state: a lookup is in a loop when a
+    // loop frame is already open, or a for/while precedes it in-line.
+    std::smatch m;
+    if (std::regex_search(code, m, kLookup)) {
+      const std::string before =
+          code.substr(0, static_cast<std::size_t>(m.position(0)));
+      const bool loop_on_line =
+          find_token(before, "for") != std::string::npos ||
+          find_token(before, "while") != std::string::npos;
+      const bool cached = find_token(code, "static") != std::string::npos;
+      if ((loop_depth > 0 || loop_on_line) && !cached) {
+        report(ctx, file, static_cast<int>(i), "obs",
+               "metrics registry lookup-by-string inside a loop; cache "
+               "the handle outside the loop (static pointer or the "
+               "DRIFT_OBS_* macros)");
+      }
+    }
+    // A '{' opens a loop frame when for/while/do appears between the
+    // previous statement boundary and the brace.  Braceless loop
+    // bodies are covered by the in-line check above.
+    std::size_t scan_from = 0;
+    int paren_depth = 0;
+    for (std::size_t p = 0; p < code.size(); ++p) {
+      const char c = code[p];
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')') {
+        if (paren_depth > 0) --paren_depth;
+      } else if (c == '{') {
+        const std::string head = code.substr(scan_from, p - scan_from);
+        const bool is_loop =
+            find_token(head, "for") != std::string::npos ||
+            find_token(head, "while") != std::string::npos ||
+            find_token(head, "do") != std::string::npos;
+        loop_stack.push_back(is_loop);
+        if (is_loop) ++loop_depth;
+        scan_from = p + 1;
+      } else if (c == '}') {
+        if (!loop_stack.empty()) {
+          if (loop_stack.back()) --loop_depth;
+          loop_stack.pop_back();
+        }
+        scan_from = p + 1;
+      } else if (c == ';' && paren_depth == 0) {
+        // A for-header's semicolons sit inside its parentheses and must
+        // not clip the 'for' token off the statement head.
+        scan_from = p + 1;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Violation> run_rules(const std::vector<LexedFile>& files) {
@@ -408,6 +478,7 @@ std::vector<Violation> run_rules(const std::vector<LexedFile>& files) {
     rule_narrow(ctx, file);
     rule_index(ctx, file);
     rule_logging(ctx, file);
+    rule_obs(ctx, file);
 
     const Suppressions sup = parse_suppressions(file);
     for (auto& v : raw) {

@@ -23,6 +23,10 @@
 //                   or add an explicit range check.
 //   logging         printf/fprintf/puts/std::cout/std::cerr/std::clog
 //                   in src/ — use util/logging.hpp.
+//   obs             metrics-registry lookup-by-string (.counter("..."),
+//                   .gauge, .histogram, .layer_record) inside a loop in
+//                   src/ outside src/obs/ — cache the handle (static
+//                   pointer, or the DRIFT_OBS_* macros which do so).
 //   suppression     a drift-lint allow comment that names an unknown
 //                   rule or carries no justification text.  Not itself
 //                   suppressible.
