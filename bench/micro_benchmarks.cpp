@@ -4,11 +4,17 @@
 // models and the cycle-level simulation — plus the single- vs
 // multi-thread GEMM / quantization kernel sweep that emits
 // BENCH_kernels.json (ops/s and speedup vs 1 thread) before the
-// google-benchmark suite runs.  The JSON also records the runtime of
-// the fixed-seed property-test corpus (the differential suites behind
-// `ctest -L prop`), so oracle-check cost is tracked alongside kernel
-// throughput.  DRIFT_BENCH_GEMM_SIZE overrides the GEMM edge (default
-// 1024); DRIFT_SKIP_KERNEL_SWEEP=1 skips the sweep.
+// google-benchmark suite runs.  A second, backend sweep times
+// {scalar, simd} x {fp32, int8, int4-packed, mixed} GEMM plus the
+// quantization kernel under the dispatch force-scalar toggle and
+// records per-entry `backend` and `speedup_vs_scalar` (the SIMD payoff
+// on this machine's `cpu_features`).  The JSON also records the
+// runtime of the fixed-seed property-test corpus (the differential
+// suites behind `ctest -L prop`), so oracle-check cost is tracked
+// alongside kernel throughput.  DRIFT_BENCH_GEMM_SIZE overrides the
+// fp32 GEMM edge (default 1024), DRIFT_BENCH_INT_GEMM_SIZE the
+// backend-sweep edge (default 512); DRIFT_SKIP_KERNEL_SWEEP=1 skips
+// both sweeps.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -20,11 +26,15 @@
 #include <vector>
 
 #include "core/noise_budget.hpp"
+#include "core/quantizer.hpp"
 #include "core/scheduler.hpp"
 #include "core/selector.hpp"
 #include "dram/dram.hpp"
 #include "nn/gemm.hpp"
 #include "nn/int_gemm.hpp"
+// drift-lint: allow(intrinsic) — the bench sweep toggles the
+// force-scalar override to measure the SIMD payoff per backend.
+#include "nn/simd/kernel_dispatch.hpp"
 #include "nn/synthetic.hpp"
 #include "obs/report.hpp"
 #include "proptest/proptest.hpp"
@@ -268,9 +278,11 @@ struct KernelResult {
   std::string name;
   std::string shape;
   int threads = 1;
+  std::string backend;  ///< dispatch table the run executed on
   double seconds = 0.0;
   double ops_per_s = 0.0;
   double speedup_vs_1t = 1.0;
+  double speedup_vs_scalar = 1.0;  ///< vs same (name, threads) on scalar
 };
 
 template <typename Fn>
@@ -319,19 +331,26 @@ void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
     r.name = name;
     r.shape = shape;
     r.threads = threads;
+    r.backend = nn::simd::active().name;
     r.seconds = seconds;
     r.ops_per_s = total_ops / seconds;
     for (const auto& base : results) {
-      if (base.name == name && base.threads == 1) {
+      if (base.name == name && base.threads == 1 &&
+          base.backend == r.backend) {
         r.speedup_vs_1t = base.seconds / seconds;
+      }
+      if (base.name == name && base.threads == threads &&
+          base.backend == "scalar" && r.backend != "scalar") {
+        r.speedup_vs_scalar = base.seconds / seconds;
       }
     }
     results.push_back(r);
     std::fprintf(stderr,
-                 "[kernels] %-14s %-18s threads=%d  %.3fs  %.3g ops/s  "
-                 "speedup=%.2fx\n",
-                 name.c_str(), shape.c_str(), threads, seconds, r.ops_per_s,
-                 r.speedup_vs_1t);
+                 "[kernels] %-16s %-18s threads=%d backend=%-6s %.3fs  "
+                 "%.3g ops/s  speedup=%.2fx  vs_scalar=%.2fx\n",
+                 name.c_str(), shape.c_str(), threads, r.backend.c_str(),
+                 seconds, r.ops_per_s, r.speedup_vs_1t,
+                 r.speedup_vs_scalar);
   };
 
   const std::string gemm_shape = std::to_string(gemm_n) + "x" +
@@ -358,6 +377,92 @@ void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
                3),
            static_cast<double>(x.numel()));
   }
+
+  // Backend sweep: {scalar, simd} x {fp32, int8, int4-packed, mixed}
+  // at 1 thread, under the dispatch force-scalar toggle.  The integer
+  // operands are built with pinned precision decisions so each entry
+  // exercises exactly one quadrant class (all-high -> s8s8, all-low ->
+  // packed s4s4, half -> the hl/lh/ll mix).
+  {
+    const std::int64_t ig = env_int("DRIFT_BENCH_INT_GEMM_SIZE", 512);
+    const TensorF xa = laplace_matrix(ig, ig, 201);
+    const TensorF xw = laplace_matrix(ig, ig, 202);
+    const auto make_operand = [&](const TensorF& t, double low_fraction,
+                                  std::uint64_t seed) {
+      core::SelectorConfig oc;
+      nn::QuantizedOperand op;
+      op.params = core::compute_quant_params(t.data(), oc.hp);
+      op.lp = oc.lp;
+      op.codes = TensorI32(t.shape());
+      const int clip = oc.hp.bits() - oc.lp.bits();
+      Rng rng(seed);
+      const std::int64_t rows = t.shape().dim(0);
+      const std::int64_t cols = t.shape().dim(1);
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const bool low = rng.uniform() < low_fraction;
+        op.rows.push_back(core::PrecisionDecision{
+            low, core::ConversionChoice{low ? clip : 0, 0}});
+      }
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const auto& d = op.rows[static_cast<std::size_t>(r)];
+        for (std::int64_t c = 0; c < cols; ++c) {
+          const std::int32_t q = core::quantize_value(t(r, c), op.params);
+          op.codes(r, c) =
+              d.use_low ? core::convert_to_low(q, op.lp, d.choice) : q;
+        }
+      }
+      return op;
+    };
+    const auto qa8 = make_operand(xa, 0.0, 211);
+    const auto qw8 = make_operand(xw, 0.0, 212);
+    const auto qa4 = make_operand(xa, 1.0, 213);
+    const auto qw4 = make_operand(xw, 1.0, 214);
+    const auto qam = make_operand(xa, 0.5, 215);
+    const auto qwm = make_operand(xw, 0.5, 216);
+
+    const std::string ig_shape = std::to_string(ig) + "x" +
+                                 std::to_string(ig) + "x" +
+                                 std::to_string(ig);
+    const double ig_ops = 2.0 * static_cast<double>(ig) *
+                          static_cast<double>(ig) * static_cast<double>(ig);
+
+    util::ThreadPool::instance().resize(1);
+    const bool prev_force = nn::simd::force_scalar();
+    for (const bool force : {true, false}) {
+      nn::simd::set_force_scalar(force);
+      // One leg suffices when there is no vector backend to compare.
+      if (!force && std::string(nn::simd::active().name) == "scalar") {
+        break;
+      }
+      record("gemm_fp32", ig_shape, 1,
+             best_seconds(
+                 [&] { benchmark::DoNotOptimize(nn::matmul_nt(xa, xw)); }, 2),
+             ig_ops);
+      record("gemm_int8", ig_shape, 1,
+             best_seconds(
+                 [&] { benchmark::DoNotOptimize(nn::int_gemm_nt(qa8, qw8)); },
+                 2),
+             ig_ops);
+      record("gemm_int4_packed", ig_shape, 1,
+             best_seconds(
+                 [&] { benchmark::DoNotOptimize(nn::int_gemm_nt(qa4, qw4)); },
+                 2),
+             ig_ops);
+      record("gemm_mixed", ig_shape, 1,
+             best_seconds(
+                 [&] { benchmark::DoNotOptimize(nn::int_gemm_nt(qam, qwm)); },
+                 2),
+             ig_ops);
+      record("quantize_rows_1t", quant_shape, 1,
+             best_seconds(
+                 [&] {
+                   benchmark::DoNotOptimize(nn::quantize_rows(x, cfg, 0.05));
+                 },
+                 3),
+             static_cast<double>(x.numel()));
+    }
+    nn::simd::set_force_scalar(prev_force);
+  }
   util::ThreadPool::instance().resize(0);
 
   std::FILE* f = std::fopen("BENCH_kernels.json", "w");
@@ -365,9 +470,15 @@ void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
     std::fprintf(stderr, "[kernels] cannot open BENCH_kernels.json\n");
     return;
   }
+  const nn::simd::CpuFeatures features = nn::simd::detect_cpu_features();
+  std::string feature_list;
+  if (features.avx2) feature_list += "avx2";
+  if (features.neon) feature_list += feature_list.empty() ? "neon" : ",neon";
   std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"default_threads\": %d,\n"
+               "  \"cpu_features\": \"%s\",\n"
                "  \"proptest_corpus\": [\n",
-               std::thread::hardware_concurrency(), default_threads);
+               std::thread::hardware_concurrency(), default_threads,
+               feature_list.c_str());
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     const auto& c = corpus[i];
     std::fprintf(f,
@@ -381,10 +492,12 @@ void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
     const auto& r = results[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
-                 "\"seconds\": %.6f, \"ops_per_s\": %.6g, "
-                 "\"speedup_vs_1t\": %.3f}%s\n",
-                 r.name.c_str(), r.shape.c_str(), r.threads, r.seconds,
-                 r.ops_per_s, r.speedup_vs_1t,
+                 "\"backend\": \"%s\", \"seconds\": %.6f, "
+                 "\"ops_per_s\": %.6g, \"speedup_vs_1t\": %.3f, "
+                 "\"speedup_vs_scalar\": %.3f}%s\n",
+                 r.name.c_str(), r.shape.c_str(), r.threads,
+                 r.backend.c_str(), r.seconds, r.ops_per_s, r.speedup_vs_1t,
+                 r.speedup_vs_scalar,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "core/capability.hpp"
+// drift-lint: allow(intrinsic) — the selector's pooling-unit reductions
+// are a dispatch hot loop; only the table entry points are used here.
+#include "nn/simd/kernel_dispatch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -14,15 +17,22 @@ namespace drift::core {
 SubTensorStats compute_stats(const SubTensorView& view,
                              std::span<const float> buffer) {
   DRIFT_CHECK(view.size() > 0, "empty sub-tensor view");
+  // Each contiguous run reduces through the dispatched 4-lane kernel
+  // (bitwise backend-invariant); runs combine sequentially in view
+  // order, so the whole reduction is backend-invariant too.  max(|Y|)
+  // stays exact; the sums re-associate relative to a plain sequential
+  // loop by a bounded amount (tests/prop/prop_selector.cpp pins the
+  // drift against the Kahan reference).
+  const auto& kt = nn::simd::active();
   double max_abs = 0.0, sum_abs = 0.0, sum = 0.0, sum_sq = 0.0;
-  view.for_each<float>(buffer, [&](float x) {
-    const double v = static_cast<double>(x);
-    const double a = std::abs(v);
-    max_abs = std::max(max_abs, a);
-    sum_abs += a;
-    sum += v;
-    sum_sq += v * v;
-  });
+  for (const Run& r : view.runs()) {
+    const nn::simd::RawStats rs =
+        kt.reduce_stats(buffer.data() + r.offset, r.length);
+    max_abs = std::max(max_abs, rs.max_abs);
+    sum_abs += rs.sum_abs;
+    sum += rs.sum;
+    sum_sq += rs.sum_sq;
+  }
   const double n = static_cast<double>(view.size());
   return SubTensorStats{max_abs, sum_abs / n, sum / n, sum_sq / n};
 }

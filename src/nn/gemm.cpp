@@ -81,25 +81,31 @@ TensorF matmul_nt(const TensorF& a, const TensorF& w) {
   DRIFT_CHECK(w.shape().dim(1) == K, "inner dimension mismatch");
   const std::int64_t N = w.shape().dim(0);
 
-  TensorF c(Shape{M, N});
-  auto ad = a.data();
+  // Transpose w once and run the shared blocked kernel.  The previous
+  // one-chain-per-output loop ran at less than half of matmul's
+  // throughput: with w row-major every inner step walks N strided
+  // weight streams, where matmul streams its operand row-contiguously
+  // with L1 reuse across the row chunk.  One O(N*K) transpose is noise
+  // next to the O(M*N*K) multiply, and the two entry points share a
+  // single accumulation policy, so matmul_nt(A, W) == matmul(A, W^T)
+  // bit for bit (the property suite pins exactly this identity).
+  constexpr std::int64_t kTile = 32;
+  TensorF wt(Shape{K, N});
   auto wd = w.data();
-  auto cd = c.data();
-  util::parallel_for(0, M, kMc, [&](std::int64_t i0, std::int64_t i1) {
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* arow = ad.data() + static_cast<std::size_t>(i * K);
-      float* crow = cd.data() + static_cast<std::size_t>(i * N);
-      for (std::int64_t j = 0; j < N; ++j) {
-        const float* wrow = wd.data() + static_cast<std::size_t>(j * K);
-        double acc = 0.0;
-        for (std::int64_t k = 0; k < K; ++k) {
-          acc += static_cast<double>(arow[k]) * static_cast<double>(wrow[k]);
+  auto td = wt.data();
+  for (std::int64_t jt = 0; jt < N; jt += kTile) {
+    const std::int64_t jend = std::min(jt + kTile, N);
+    for (std::int64_t kt = 0; kt < K; kt += kTile) {
+      const std::int64_t kend = std::min(kt + kTile, K);
+      for (std::int64_t j = jt; j < jend; ++j) {
+        for (std::int64_t k = kt; k < kend; ++k) {
+          td[static_cast<std::size_t>(k * N + j)] =
+              wd[static_cast<std::size_t>(j * K + k)];
         }
-        crow[j] = static_cast<float>(acc);
       }
     }
-  });
-  return c;
+  }
+  return matmul(a, wt);
 }
 
 void add_bias(TensorF& c, const TensorF& bias) {

@@ -1,6 +1,12 @@
 #include "nn/int_gemm.hpp"
 
 #include "core/noise_budget.hpp"
+// drift-lint: allow(intrinsic) — integer GEMM is the primary dispatch
+// consumer; quadrant tiles route to the table's microkernels.
+#include "nn/simd/kernel_dispatch.hpp"
+// drift-lint: allow(intrinsic) — packed-nibble operand layout shared
+// with the s4 microkernels.
+#include "nn/simd/pack.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -40,14 +46,17 @@ QuantizedOperand quantize_rows(const TensorF& x,
   op.rows = std::move(selection.decisions);
 
   // hi->lo code conversion is independent per row (per sub-tensor).
+  // The dispatched row kernel is pinned to the llround semantics of
+  // quantize_value / convert_to_low, so codes are backend-invariant.
+  const auto& kt = simd::active();
+  const std::int64_t hp_limit = op.params.bits.max_level();
+  const std::int64_t lp_limit = config.lp.max_level();
   util::parallel_for(0, rows, 16, [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
       const auto& d = op.rows[static_cast<std::size_t>(r)];
-      for (std::int64_t c = 0; c < cols; ++c) {
-        const std::int32_t q = core::quantize_value(x(r, c), op.params);
-        op.codes(r, c) =
-            d.use_low ? core::convert_to_low(q, config.lp, d.choice) : q;
-      }
+      kt.quantize_convert_row(x.row(r).data(), cols, op.params.delta,
+                              hp_limit, d.use_low, d.choice.lc, lp_limit,
+                              op.codes.row(r).data());
     }
   });
   return op;
@@ -68,6 +77,50 @@ TensorF dequantize_operand(const QuantizedOperand& op) {
   return out;
 }
 
+std::int64_t PackedOperand::packed_cols() const {
+  return simd::packed_size(cols);
+}
+
+const std::int8_t* PackedOperand::s8_row(std::int64_t r) const {
+  DRIFT_CHECK_INDEX(r, rows);
+  return s8.data() + static_cast<std::size_t>(r * cols);
+}
+
+const std::uint8_t* PackedOperand::s4_row(std::int64_t r) const {
+  DRIFT_CHECK_INDEX(r, rows);
+  return s4.data() + static_cast<std::size_t>(r * packed_cols());
+}
+
+PackedOperand pack_operand(const QuantizedOperand& op) {
+  DRIFT_CHECK(op.params.bits.bits() <= 8,
+              "pack_operand requires hp codes that fit int8");
+  PackedOperand p;
+  p.rows = op.codes.shape().dim(0);
+  p.cols = op.codes.shape().dim(1);
+  p.s8.resize(static_cast<std::size_t>(p.rows * p.cols));
+  p.s4.resize(static_cast<std::size_t>(p.rows * p.packed_cols()));
+  p.row_is_s4.assign(static_cast<std::size_t>(p.rows), 0);
+  const bool lp_packs = op.lp.bits() <= 4;
+  for (std::int64_t r = 0; r < p.rows; ++r) {
+    const auto codes = op.codes.row(r);
+    std::int8_t* dst = p.s8.data() + static_cast<std::size_t>(r * p.cols);
+    for (std::int64_t c = 0; c < p.cols; ++c) {
+      // drift-lint: allow(narrow) — codes are clamped to ±max_level
+      // (≤ 127 for hp ≤ 8 bits, checked above) at quantization time.
+      dst[c] = static_cast<std::int8_t>(codes[static_cast<std::size_t>(c)]);
+    }
+    if (lp_packs && op.rows[static_cast<std::size_t>(r)].use_low) {
+      simd::pack_nibbles(
+          codes, std::span<std::uint8_t>(
+                     p.s4.data() + static_cast<std::size_t>(
+                                       r * p.packed_cols()),
+                     static_cast<std::size_t>(p.packed_cols())));
+      p.row_is_s4[static_cast<std::size_t>(r)] = 1;
+    }
+  }
+  return p;
+}
+
 TensorF int_gemm_nt(const QuantizedOperand& act,
                     const QuantizedOperand& wgt) {
   const std::int64_t M = act.codes.shape().dim(0);
@@ -76,8 +129,54 @@ TensorF int_gemm_nt(const QuantizedOperand& act,
   const std::int64_t N = wgt.codes.shape().dim(0);
 
   TensorF out(Shape{M, N});
-  // Integer accumulation is exact, so any chunking is bit-identical;
-  // rows of `out` are disjoint per chunk.
+
+  // Route through the dispatched microkernels when both operands fit
+  // int8 and K respects the vector accumulator overflow bound.  The
+  // dots are exact integer sums, so routed and fallback results are
+  // bitwise identical.
+  const bool routed = act.params.bits.bits() <= 8 &&
+                      wgt.params.bits.bits() <= 8 && K <= simd::kMaxDotLength;
+  if (routed) {
+    const PackedOperand pa = pack_operand(act);
+    const PackedOperand pw = pack_operand(wgt);
+    const auto& kt = simd::active();
+    // Hoisted out of the inner loop: per-output dots take tens of
+    // cycles under the vector backends, so a checked accessor or a
+    // branchy scale lookup per element would dominate the kernel.
+    std::vector<double> wgt_scale(static_cast<std::size_t>(N));
+    for (std::int64_t j = 0; j < N; ++j) {
+      wgt_scale[static_cast<std::size_t>(j)] = wgt.row_scale(j);
+    }
+    util::parallel_for(0, M, 8, [&](std::int64_t i0, std::int64_t i1) {
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const double act_scale = act.row_scale(i);
+        const bool a4 = pa.row_is_s4[static_cast<std::size_t>(i)] != 0;
+        float* orow = out.row(i).data();
+        for (std::int64_t j = 0; j < N; ++j) {
+          const bool b4 = pw.row_is_s4[static_cast<std::size_t>(j)] != 0;
+          // Quadrant routing: hh -> s8s8, hl/lh -> s8s4 (the dot is
+          // symmetric, so lh swaps operands), ll -> s4s4.
+          std::int64_t acc;
+          if (a4 && b4) {
+            acc = kt.dot_s4s4(pa.s4_row(i), pw.s4_row(j), K);
+          } else if (b4) {
+            acc = kt.dot_s8s4(pa.s8_row(i), pw.s4_row(j), K);
+          } else if (a4) {
+            acc = kt.dot_s8s4(pw.s8_row(j), pa.s4_row(i), K);
+          } else {
+            acc = kt.dot_s8s8(pa.s8_row(i), pw.s8_row(j), K);
+          }
+          // One rescale per output (the psum exit multiplier).
+          orow[j] = static_cast<float>(static_cast<double>(acc) * act_scale *
+                                       wgt_scale[static_cast<std::size_t>(j)]);
+        }
+      }
+    });
+    return out;
+  }
+
+  // Fallback for wide precisions / very long reductions: the legacy
+  // int64 scalar loop.  Rows of `out` are disjoint per chunk.
   util::parallel_for(0, M, 8, [&](std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
       const double act_scale = act.row_scale(i);

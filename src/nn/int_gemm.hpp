@@ -48,9 +48,33 @@ QuantizedOperand quantize_rows(const TensorF& x,
 /// simulation path uses) — exact by construction.
 TensorF dequantize_operand(const QuantizedOperand& op);
 
+/// Byte-level rendering of a QuantizedOperand for the SIMD microkernels:
+/// every row as int8 codes, plus a packed-nibble (two codes per byte)
+/// rendering for rows whose lp codes fit the 4-bit two's-complement
+/// range.  Requires the operand's hp precision to fit int8 (bits <= 8).
+struct PackedOperand {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::int8_t> s8;          ///< [rows * cols] int8 codes
+  std::vector<std::uint8_t> s4;         ///< [rows * packed_cols()] nibbles
+  std::vector<std::uint8_t> row_is_s4;  ///< 1 if row has a nibble rendering
+
+  std::int64_t packed_cols() const;
+  const std::int8_t* s8_row(std::int64_t r) const;
+  const std::uint8_t* s4_row(std::int64_t r) const;
+};
+
+/// Renders the operand into the byte-level storage above.
+PackedOperand pack_operand(const QuantizedOperand& op);
+
 /// Integer GEMM: act [M, K] times wgt [N, K]^T with int64 accumulation
 /// and per-(row, col) rescale.  This is what the BitGroup array
-/// physically computes.
+/// physically computes.  When both operands fit int8 and K is within
+/// the dispatch overflow bound, row pairs are routed by precision class
+/// to the active SIMD backend's microkernels (hh -> s8s8, hl/lh ->
+/// s8s4, ll -> s4s4); integer accumulation is exact, so the result is
+/// bitwise identical to the legacy int64 fallback loop regardless of
+/// backend.
 TensorF int_gemm_nt(const QuantizedOperand& act,
                     const QuantizedOperand& wgt);
 

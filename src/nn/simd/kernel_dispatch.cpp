@@ -1,0 +1,88 @@
+#include "nn/simd/kernel_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "nn/simd/kernel_tables.hpp"
+
+namespace drift::nn::simd {
+
+namespace {
+
+bool env_force_scalar() {
+  const char* v = std::getenv("DRIFT_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' &&
+         !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& force_scalar_flag() {
+  static std::atomic<bool> flag{env_force_scalar()};
+  return flag;
+}
+
+/// The best table the build and the CPU support, resolved once.
+const KernelTable& best_table() {
+  static const KernelTable& table = []() -> const KernelTable& {
+#ifdef DRIFT_SIMD_BUILD_AVX2
+    if (detect_cpu_features().avx2) {
+      return kAvx2Table;
+    }
+#endif
+#ifdef DRIFT_SIMD_BUILD_NEON
+    if (detect_cpu_features().neon) {
+      return kNeonTable;
+    }
+#endif
+    return kScalarTable;
+  }();
+  return table;
+}
+
+}  // namespace
+
+CpuFeatures detect_cpu_features() {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+  // Advanced SIMD is architecturally mandatory on AArch64.
+  features.neon = true;
+#endif
+  return features;
+}
+
+const KernelTable& active() {
+  if (force_scalar_flag().load(std::memory_order_relaxed)) {
+    return kScalarTable;
+  }
+  return best_table();
+}
+
+Backend active_backend() {
+  const KernelTable& table = active();
+#ifdef DRIFT_SIMD_BUILD_AVX2
+  if (&table == &kAvx2Table) {
+    return Backend::kAvx2;
+  }
+#endif
+#ifdef DRIFT_SIMD_BUILD_NEON
+  if (&table == &kNeonTable) {
+    return Backend::kNeon;
+  }
+#endif
+  (void)table;
+  return Backend::kScalar;
+}
+
+void set_force_scalar(bool force) {
+  force_scalar_flag().store(force, std::memory_order_relaxed);
+}
+
+bool force_scalar() {
+  return force_scalar_flag().load(std::memory_order_relaxed);
+}
+
+}  // namespace drift::nn::simd

@@ -1,0 +1,111 @@
+// Runtime-dispatched SIMD kernel backend (AVX2 / NEON / scalar).
+//
+// The Drift pipeline's hot loops — integer GEMM inner products, the
+// hi->lo quantization rendering, and the selector's max|Y| / avg|Y|
+// reductions — run through the function-pointer table returned by
+// active(), selected once per call from the CPU features detected at
+// startup.  Three invariants make this safe to drop underneath the
+// existing bit-pinned pipeline:
+//
+//   1. *Integer kernels are exact.*  dot_s8s8 / dot_s8s4 / dot_s4s4
+//      compute a sum of integer products, which is associative, so any
+//      vector re-ordering produces the same int64 as the scalar loop —
+//      the backends are bitwise interchangeable (asserted by
+//      tests/prop/prop_simd_gemm.cpp) provided no intermediate
+//      overflows; kMaxDotLength bounds the reduction length so int32
+//      lane accumulators cannot wrap.
+//   2. *quantize_convert_row is pinned to llround semantics.*  Every
+//      backend computes round-half-away-from-zero of the exactly
+//      rounded IEEE quotient x/Δ (and of the exact dyadic q/2^lc), so
+//      integer codes are bitwise identical across backends.
+//   3. *reduce_stats fixes a 4-lane accumulation order.*  Element i
+//      accumulates into double lane (i mod 4); lanes combine as
+//      ((l0+l1)+l2)+l3.  Scalar and vector backends implement the same
+//      schedule, so even the float sums agree bitwise across backends
+//      (they differ from a plain sequential sum by a documented
+//      rounding re-association; see DESIGN.md "SIMD backend").
+//
+// Backend choice: AVX2 when the binary carries the AVX2 kernels and the
+// CPU reports the feature, NEON on AArch64 builds, scalar otherwise.
+// DRIFT_FORCE_SCALAR=1 in the environment (or set_force_scalar(true))
+// pins the scalar table for differential testing.
+#pragma once
+
+#include <cstdint>
+
+namespace drift::nn::simd {
+
+/// CPU features relevant to kernel selection, detected at startup.
+struct CpuFeatures {
+  bool avx2 = false;  ///< x86-64 AVX2 (implies the SSE4 baseline)
+  bool neon = false;  ///< AArch64 Advanced SIMD
+};
+
+/// Features of the machine this process is running on.
+CpuFeatures detect_cpu_features();
+
+enum class Backend { kScalar, kAvx2, kNeon };
+
+/// Raw single-pass reduction over a contiguous float run, before the
+/// divide-by-n that turns sums into the SubTensorStats means.
+struct RawStats {
+  double max_abs = 0.0;
+  double sum_abs = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+};
+
+/// Reduction lengths are capped so the int32 lane accumulators of the
+/// vector dot kernels cannot overflow: the worst addend is 127*127 and
+/// a lane absorbs at most half the products, so lengths up to
+/// 2^31 / (127*127) / 0.5 ≈ 266k are safe; 2^17 leaves a wide margin.
+/// Longer reductions fall back to the legacy int64 scalar loop at the
+/// int_gemm entry point.
+inline constexpr std::int64_t kMaxDotLength = std::int64_t{1} << 17;
+
+/// One backend's kernel set.  All pointers are always non-null.
+struct KernelTable {
+  const char* name;  ///< "scalar", "avx2", "neon"
+
+  /// sum_k a[k] * b[k] over int8 codes, exact in int64.
+  std::int64_t (*dot_s8s8)(const std::int8_t* a, const std::int8_t* b,
+                           std::int64_t n);
+
+  /// sum_k a[k] * unpack(b_packed)[k]: int8 row times packed-nibble row.
+  std::int64_t (*dot_s8s4)(const std::int8_t* a,
+                           const std::uint8_t* b_packed, std::int64_t n);
+
+  /// sum_k unpack(a)[k] * unpack(b)[k]: both rows packed nibbles.
+  std::int64_t (*dot_s4s4)(const std::uint8_t* a_packed,
+                           const std::uint8_t* b_packed, std::int64_t n);
+
+  /// The quantize_rows inner loop: out[i] = clamp(llround(x[i]/delta),
+  /// ±hp_limit), then when lc/lp_limit describe a low rendering
+  /// (use_low), out[i] = clamp(llround(out[i]/2^lc), ±lp_limit).
+  /// Bitwise identical across backends (invariant 2 above).
+  void (*quantize_convert_row)(const float* x, std::int64_t n, double delta,
+                               std::int64_t hp_limit, bool use_low, int lc,
+                               std::int64_t lp_limit, std::int32_t* out);
+
+  /// 4-lane-scheduled single-pass reduction (invariant 3 above).
+  RawStats (*reduce_stats)(const float* x, std::int64_t n);
+};
+
+/// The table for the current backend: scalar when forced, otherwise the
+/// best table the build and the CPU support.  Cheap enough to call per
+/// GEMM; cache the reference outside per-element loops.
+const KernelTable& active();
+
+/// The backend `active()` resolves to right now.
+Backend active_backend();
+
+/// Pins (or unpins) the scalar table, overriding feature detection.
+/// Initialized from the DRIFT_FORCE_SCALAR environment variable
+/// (non-empty and not "0" means forced).  Tests and the bench sweep
+/// toggle this at runtime; safe to call concurrently with kernel use.
+void set_force_scalar(bool force);
+
+/// Current force-scalar state.
+bool force_scalar();
+
+}  // namespace drift::nn::simd

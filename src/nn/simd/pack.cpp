@@ -1,0 +1,41 @@
+#include "nn/simd/pack.hpp"
+
+#include "util/assert.hpp"
+
+namespace drift::nn::simd {
+
+void pack_nibbles(std::span<const std::int32_t> codes,
+                  std::span<std::uint8_t> out) {
+  const auto n = static_cast<std::int64_t>(codes.size());
+  DRIFT_CHECK_EQ(static_cast<std::int64_t>(out.size()), packed_size(n),
+                 "packed output size mismatch");
+  for (std::int64_t i = 0; i < n; i += 2) {
+    const std::int32_t lo = codes[static_cast<std::size_t>(i)];
+    const std::int32_t hi = i + 1 < n ? codes[static_cast<std::size_t>(i + 1)]
+                                      : 0;
+    DRIFT_CHECK(lo >= -8 && lo <= 7 && hi >= -8 && hi <= 7,
+                "code outside the 4-bit two's-complement range");
+    // drift-lint: allow(narrow) — both operands are range-checked to
+    // [-8, 7] just above, so the masked nibbles always fit one byte.
+    out[static_cast<std::size_t>(i / 2)] = static_cast<std::uint8_t>(
+        (lo & 0x0F) | ((hi & 0x0F) << 4));
+  }
+}
+
+void unpack_nibbles(std::span<const std::uint8_t> packed,
+                    std::span<std::int32_t> codes) {
+  const auto n = static_cast<std::int64_t>(codes.size());
+  DRIFT_CHECK_EQ(static_cast<std::int64_t>(packed.size()), packed_size(n),
+                 "packed input size mismatch");
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::uint8_t byte = packed[static_cast<std::size_t>(i / 2)];
+    const int nib = (i & 1) ? (byte >> 4) : (byte & 0x0F);
+    // Sign-extend the 4-bit two's-complement value.
+    // drift-lint: allow(narrow) — nib is a masked 4-bit value, so the
+    // sign-extended result lies in [-8, 7] and always fits.
+    const auto v = static_cast<std::int32_t>((nib ^ 0x08) - 0x08);
+    codes[static_cast<std::size_t>(i)] = v;
+  }
+}
+
+}  // namespace drift::nn::simd

@@ -1,0 +1,33 @@
+// Packed-nibble (INT4) storage for low-precision renderings.
+//
+// The selector's lp <= 4 codes live in [-max_level, max_level] ⊆
+// [-8, 7], so two fit one byte in 4-bit two's complement: element 2i in
+// the low nibble, element 2i+1 in the high nibble.  A row of n codes
+// packs into ceil(n/2) bytes; an odd row's final high nibble is zero.
+// The dot_s8s4 / dot_s4s4 kernels consume this format directly,
+// unpacking in-register — the packed bytes are the INT4 operand the
+// accelerator model ships over DRAM, now also the operand the software
+// engine executes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace drift::nn::simd {
+
+/// Bytes needed for n packed codes.
+inline constexpr std::int64_t packed_size(std::int64_t n) {
+  return (n + 1) / 2;
+}
+
+/// Packs codes (each in [-8, 7]) into two's-complement nibbles.
+/// `out` must hold packed_size(codes.size()) bytes.
+void pack_nibbles(std::span<const std::int32_t> codes,
+                  std::span<std::uint8_t> out);
+
+/// Inverse of pack_nibbles: sign-extends each nibble back to int32.
+/// `codes` must hold exactly the logical element count.
+void unpack_nibbles(std::span<const std::uint8_t> packed,
+                    std::span<std::int32_t> codes);
+
+}  // namespace drift::nn::simd

@@ -1,0 +1,110 @@
+// Scalar backend of the kernel dispatch table.
+//
+// This is both the portable fallback and the differential oracle the
+// vector backends are pinned against: the integer dots follow the exact
+// (order-free) integer sum, quantize_convert_row reproduces the
+// llround-based composition in core/quantizer.cpp verbatim, and
+// reduce_stats implements the canonical 4-lane accumulation schedule
+// that the AVX2/NEON reductions must match bit for bit.
+#include <algorithm>
+#include <cmath>
+
+#include "nn/simd/kernel_tables.hpp"
+#include "nn/simd/pack.hpp"
+
+namespace drift::nn::simd {
+
+namespace {
+
+/// Sign-extended nibble i of a packed row.
+inline std::int32_t nibble_at(const std::uint8_t* packed, std::int64_t i) {
+  const std::uint8_t byte = packed[i / 2];
+  const int nib = (i & 1) ? (byte >> 4) : (byte & 0x0F);
+  // drift-lint: allow(narrow) — nib is a masked 4-bit value, so the
+  // sign-extended result lies in [-8, 7] and always fits.
+  return static_cast<std::int32_t>((nib ^ 0x08) - 0x08);
+}
+
+std::int64_t dot_s8s8(const std::int8_t* a, const std::int8_t* b,
+                      std::int64_t n) {
+  std::int64_t acc = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    acc += static_cast<std::int64_t>(a[k]) * static_cast<std::int64_t>(b[k]);
+  }
+  return acc;
+}
+
+std::int64_t dot_s8s4(const std::int8_t* a, const std::uint8_t* b_packed,
+                      std::int64_t n) {
+  std::int64_t acc = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    acc += static_cast<std::int64_t>(a[k]) *
+           static_cast<std::int64_t>(nibble_at(b_packed, k));
+  }
+  return acc;
+}
+
+std::int64_t dot_s4s4(const std::uint8_t* a_packed,
+                      const std::uint8_t* b_packed, std::int64_t n) {
+  std::int64_t acc = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    acc += static_cast<std::int64_t>(nibble_at(a_packed, k)) *
+           static_cast<std::int64_t>(nibble_at(b_packed, k));
+  }
+  return acc;
+}
+
+void quantize_convert_row(const float* x, std::int64_t n, double delta,
+                          std::int64_t hp_limit, bool use_low, int lc,
+                          std::int64_t lp_limit, std::int32_t* out) {
+  const double shift = static_cast<double>(std::int64_t{1} << lc);
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Exactly core::quantize_value: llround of the IEEE quotient.
+    const double scaled = static_cast<double>(x[i]) / delta;
+    std::int64_t q = std::clamp<std::int64_t>(std::llround(scaled),
+                                              -hp_limit, hp_limit);
+    if (use_low) {
+      // Exactly core::convert_to_low: q / 2^lc is an exact dyadic
+      // rational in double, rounded half away from zero.
+      const double shifted = static_cast<double>(q) / shift;
+      q = std::clamp<std::int64_t>(std::llround(shifted), -lp_limit,
+                                   lp_limit);
+    }
+    // drift-lint: allow(narrow) — clamped to ±hp_limit / ±lp_limit
+    // (≤ 2^15 - 1 for the widest Precision) above, so the value fits.
+    out[i] = static_cast<std::int32_t>(q);
+  }
+}
+
+RawStats reduce_stats(const float* x, std::int64_t n) {
+  // The canonical 4-lane schedule (see kernel_dispatch.hpp): element i
+  // accumulates into lane (i mod 4); lanes combine left to right.
+  double mx[4] = {0.0, 0.0, 0.0, 0.0};
+  double sa[4] = {0.0, 0.0, 0.0, 0.0};
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  double sq[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(x[i]);
+    const double a = std::abs(v);
+    const auto l = static_cast<std::size_t>(i & 3);
+    mx[l] = std::max(mx[l], a);
+    sa[l] += a;
+    s[l] += v;
+    sq[l] += v * v;
+  }
+  RawStats r;
+  r.max_abs = std::max(std::max(std::max(mx[0], mx[1]), mx[2]), mx[3]);
+  r.sum_abs = ((sa[0] + sa[1]) + sa[2]) + sa[3];
+  r.sum = ((s[0] + s[1]) + s[2]) + s[3];
+  r.sum_sq = ((sq[0] + sq[1]) + sq[2]) + sq[3];
+  return r;
+}
+
+}  // namespace
+
+const KernelTable kScalarTable = {
+    "scalar", dot_s8s8, dot_s8s4, dot_s4s4, quantize_convert_row,
+    reduce_stats,
+};
+
+}  // namespace drift::nn::simd

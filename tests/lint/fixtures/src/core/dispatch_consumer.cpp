@@ -1,0 +1,7 @@
+// Fixture: a justified dispatch-boundary consumer — the allow below
+// must silence the `intrinsic` include violation.
+// drift-lint: allow(intrinsic) — fixture consumer of the dispatch
+// boundary with a proper justification sentence.
+#include "nn/simd/fixture_kernels.hpp"
+
+int fixture_dispatch_consumer() { return 0; }

@@ -1,0 +1,11 @@
+// Fixture: `intrinsic` rule — raw SIMD usage outside src/nn/simd/.
+#include <immintrin.h>
+
+#include "nn/simd/fixture_kernels.hpp"
+
+int fixture_intrinsic() {
+  __m256i acc = _mm256_setzero_si256();
+  int8x16_t lanes;
+  (void)lanes;
+  return _mm_cvtsi128_si32(_mm256_castsi256_si128(acc));
+}

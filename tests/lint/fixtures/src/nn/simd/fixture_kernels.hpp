@@ -1,0 +1,9 @@
+// Fixture: the one directory where raw intrinsics are legal — nothing
+// in this header may be reported by the `intrinsic` rule.
+#pragma once
+#include <immintrin.h>
+
+inline int fixture_simd_home() {
+  __m256i zero = _mm256_setzero_si256();
+  return _mm256_extract_epi32(zero, 0);
+}

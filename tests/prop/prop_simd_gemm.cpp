@@ -1,0 +1,199 @@
+// Differential suite: the SIMD-dispatched integer GEMM path vs. the
+// scalar oracle, bit-exact across backends and thread counts.
+//
+// Integer dot products are exact under any reordering, so the vector
+// microkernels (AVX2 maddubs-style blocks, packed-nibble unpack in
+// register) must reproduce the naive int64 reference *bitwise* — as
+// must the whole int_gemm_nt entry point at 1, 2, and 8 threads, with
+// and without DRIFT_FORCE_SCALAR-style pinning.  quantize_rows codes
+// are pinned the same way through the llround-exact row kernel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/int_gemm.hpp"
+#include "nn/simd/kernel_dispatch.hpp"
+#include "nn/simd/pack.hpp"
+#include "proptest/proptest_gtest.hpp"
+#include "ref/ref_kernels.hpp"
+#include "util/thread_pool.hpp"
+
+namespace drift {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// Restores the process-wide pool to its default size on scope exit.
+struct PoolGuard {
+  ~PoolGuard() { util::ThreadPool::instance().resize(0); }
+};
+
+/// Restores the force-scalar override on scope exit.
+struct ForceScalarGuard {
+  bool prev = nn::simd::force_scalar();
+  ~ForceScalarGuard() { nn::simd::set_force_scalar(prev); }
+};
+
+std::vector<std::int8_t> gen_s8_row(Rng& rng, std::int64_t n) {
+  std::vector<std::int8_t> row(static_cast<std::size_t>(n));
+  for (auto& v : row) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  }
+  return row;
+}
+
+std::vector<std::uint8_t> gen_s4_row(Rng& rng, std::int64_t n,
+                                     std::vector<std::int32_t>* codes_out) {
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(n));
+  for (auto& c : codes) {
+    c = static_cast<std::int32_t>(rng.uniform_int(-8, 7));
+  }
+  std::vector<std::uint8_t> packed(
+      static_cast<std::size_t>(nn::simd::packed_size(n)));
+  nn::simd::pack_nibbles(codes, packed);
+  *codes_out = std::move(codes);
+  return packed;
+}
+
+TEST(PropSimdGemm, DotMicrokernelsBitExactVsScalarOracle) {
+  ForceScalarGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    // Lengths past one vector block (32 codes for s8, 64 for s4s4)
+    // plus ragged tails; gen_dim keeps the length-1 edge in play.
+    const std::int64_t n = proptest::gen_dim(rng, 16 * size);
+    const auto a8 = gen_s8_row(rng, n);
+    const auto b8 = gen_s8_row(rng, n);
+    std::vector<std::int32_t> a4_codes, b4_codes;
+    const auto a4 = gen_s4_row(rng, n, &a4_codes);
+    const auto b4 = gen_s4_row(rng, n, &b4_codes);
+
+    // Naive int64 references, operating on the unpacked codes.
+    std::int64_t want_s8s8 = 0, want_s8s4 = 0, want_s4s4 = 0;
+    for (std::int64_t k = 0; k < n; ++k) {
+      const auto i = static_cast<std::size_t>(k);
+      want_s8s8 += static_cast<std::int64_t>(a8[i]) * b8[i];
+      want_s8s4 += static_cast<std::int64_t>(a8[i]) * b4_codes[i];
+      want_s4s4 += static_cast<std::int64_t>(a4_codes[i]) * b4_codes[i];
+    }
+
+    for (const bool force : {true, false}) {
+      nn::simd::set_force_scalar(force);
+      const auto& kt = nn::simd::active();
+      const std::int64_t s8s8 = kt.dot_s8s8(a8.data(), b8.data(), n);
+      const std::int64_t s8s4 = kt.dot_s8s4(a8.data(), b4.data(), n);
+      const std::int64_t s4s4 = kt.dot_s4s4(a4.data(), b4.data(), n);
+      if (s8s8 != want_s8s8 || s8s4 != want_s8s4 || s4s4 != want_s4s4) {
+        return proptest::fail("dot kernel (", kt.name, ") diverged at n=",
+                              n, ": s8s8 ", s8s8, "/", want_s8s8, ", s8s4 ",
+                              s8s4, "/", want_s8s4, ", s4s4 ", s4s4, "/",
+                              want_s4s4);
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropSimdGemm, QuantizeRowsBitExactAcrossBackends) {
+  PoolGuard pool;
+  ForceScalarGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t rows = proptest::gen_dim(rng, size);
+    const std::int64_t cols = proptest::gen_dim(rng, 4 * size);
+    const TensorF x(Shape{rows, cols},
+                    proptest::gen_laplace_buffer(rng, rows * cols, 0.5));
+    const auto cfg = proptest::gen_selector_config(rng);
+    const double budget =
+        std::exp(rng.uniform(std::log(1e-3), std::log(1.0)));
+
+    nn::simd::set_force_scalar(true);
+    const auto want = nn::quantize_rows(x, cfg, budget);
+    nn::simd::set_force_scalar(false);
+    const auto got = nn::quantize_rows(x, cfg, budget);
+
+    for (std::size_t r = 0; r < want.rows.size(); ++r) {
+      if (got.rows[r].use_low != want.rows[r].use_low ||
+          got.rows[r].choice.hc != want.rows[r].choice.hc ||
+          got.rows[r].choice.lc != want.rows[r].choice.lc) {
+        return proptest::fail("precision decision for row ", r,
+                              " flipped between backends");
+      }
+    }
+    for (std::int64_t i = 0; i < want.codes.numel(); ++i) {
+      if (got.codes.at(i) != want.codes.at(i)) {
+        return proptest::fail("code at flat ", i,
+                              " differs between backends: ",
+                              got.codes.at(i), " vs ", want.codes.at(i));
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+proptest::Result expect_bitwise_equal(const TensorF& got, const TensorF& want,
+                                      const char* what, int threads) {
+  if (got.shape().numel() != want.shape().numel()) {
+    return proptest::fail(what, ": shape mismatch");
+  }
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    const float g = got.at(i);
+    const float w = want.at(i);
+    if (g != w) {
+      return proptest::fail(what, " differs from oracle at flat ", i,
+                            " with ", threads, " thread(s): ", g, " vs ", w,
+                            " (delta=", std::abs(g - w), ")");
+    }
+  }
+  return proptest::pass();
+}
+
+TEST(PropSimdGemm, IntGemmBitExactVsRefAcrossThreadsAndBackends) {
+  PoolGuard pool;
+  ForceScalarGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t m = proptest::gen_dim(rng, size);
+    const std::int64_t k = proptest::gen_dim(rng, 4 * size);
+    const std::int64_t n = proptest::gen_dim(rng, size);
+    auto cfg = proptest::gen_selector_config(rng);
+    // A quarter of the cases use an hp too wide for int8 so the
+    // legacy (non-routed) fallback stays under the same differential.
+    if (rng.bernoulli(0.25)) cfg.hp = core::Precision(10);
+    const double budget =
+        std::exp(rng.uniform(std::log(1e-3), std::log(1.0)));
+
+    const TensorF a(Shape{m, k},
+                    proptest::gen_laplace_buffer(rng, m * k, 0.5));
+    const TensorF w(Shape{n, k},
+                    proptest::gen_laplace_buffer(rng, n * k, 0.5));
+    const auto qa = nn::quantize_rows(a, cfg, budget);
+    const auto qw = nn::quantize_rows(w, cfg, budget);
+
+    std::vector<double> act_scale(static_cast<std::size_t>(m));
+    std::vector<double> wgt_scale(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < m; ++i) {
+      act_scale[static_cast<std::size_t>(i)] = qa.row_scale(i);
+    }
+    for (std::int64_t j = 0; j < n; ++j) {
+      wgt_scale[static_cast<std::size_t>(j)] = qw.row_scale(j);
+    }
+    const TensorF want =
+        ref::int_gemm_nt(qa.codes, qw.codes, act_scale, wgt_scale);
+
+    for (const bool force : {true, false}) {
+      nn::simd::set_force_scalar(force);
+      for (int threads : kThreadCounts) {
+        util::ThreadPool::instance().resize(threads);
+        if (auto r = expect_bitwise_equal(
+                nn::int_gemm_nt(qa, qw), want,
+                force ? "int_gemm_nt[scalar]" : "int_gemm_nt[native]",
+                threads)) {
+          return r;
+        }
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+}  // namespace
+}  // namespace drift

@@ -1,0 +1,97 @@
+// Property suite: the dispatched reduce_stats kernel.
+//
+// Two layers of guarantee: (1) every vector backend reproduces the
+// scalar backend's canonical 4-lane accumulation schedule bit for bit
+// (exact double equality, including the float sums); (2) the selector's
+// compute_stats built on top of it stays within the documented drift of
+// the Kahan-compensated reference, with max(|Y|) exact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/selector.hpp"
+#include "nn/simd/kernel_dispatch.hpp"
+#include "proptest/proptest_gtest.hpp"
+#include "ref/ref_quant.hpp"
+#include "tensor/subtensor.hpp"
+
+namespace drift {
+namespace {
+
+/// Restores the force-scalar override on scope exit.
+struct ForceScalarGuard {
+  bool prev = nn::simd::force_scalar();
+  ~ForceScalarGuard() { nn::simd::set_force_scalar(prev); }
+};
+
+TEST(PropSimdStats, ReduceStatsBitwiseEqualAcrossBackends) {
+  ForceScalarGuard guard;
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    // Lengths off the 4-lane grid exercise the vector tail path.
+    const std::int64_t n = proptest::gen_dim(rng, 8 * size);
+    const auto values = proptest::gen_laplace_buffer(rng, n, 0.5);
+
+    nn::simd::set_force_scalar(true);
+    const nn::simd::RawStats want =
+        nn::simd::active().reduce_stats(values.data(), n);
+    nn::simd::set_force_scalar(false);
+    const nn::simd::RawStats got =
+        nn::simd::active().reduce_stats(values.data(), n);
+
+    // Exact double equality: the 4-lane schedule is pinned, so even
+    // the float sums must agree bitwise (no NaNs in play).
+    if (got.max_abs != want.max_abs || got.sum_abs != want.sum_abs ||
+        got.sum != want.sum || got.sum_sq != want.sum_sq) {
+      return proptest::fail(
+          "reduce_stats diverged between backends: max_abs ", got.max_abs,
+          " vs ", want.max_abs, ", sum ", got.sum, " vs ", want.sum,
+          ", sum_abs ", got.sum_abs, " vs ", want.sum_abs, ", sum_sq ",
+          got.sum_sq, " vs ", want.sum_sq);
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropSimdStats, MultiRunComputeStatsMatchesKahanReference) {
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    const std::int64_t total = 8 * proptest::gen_dim(rng, size, 4);
+    const auto buffer = proptest::gen_laplace_buffer(rng, total, 0.5);
+
+    // A view of several disjoint runs: the per-run reductions combine
+    // sequentially in view order.
+    std::vector<::drift::Run> runs;
+    std::int64_t pos = 0;
+    while (pos < total) {
+      const std::int64_t len = rng.uniform_int(1, total - pos);
+      if (rng.bernoulli(0.7)) runs.push_back(::drift::Run{pos, len});
+      pos += len;
+    }
+    if (runs.empty()) runs.push_back(::drift::Run{0, total});
+    const SubTensorView view(runs);
+
+    const core::SubTensorStats got =
+        core::compute_stats(view, std::span<const float>(buffer));
+    std::vector<float> gathered(static_cast<std::size_t>(view.size()));
+    view.gather<float>(buffer, gathered);
+    const core::SubTensorStats want = ref::stats(gathered);
+
+    if (got.max_abs != want.max_abs) {
+      return proptest::fail("max_abs must be exact: ", got.max_abs, " vs ",
+                            want.max_abs);
+    }
+    const double n = static_cast<double>(view.size());
+    const double tol = 1e-12 * n * (1.0 + want.mean_sq) + 1e-300;
+    if (std::abs(got.mean_abs - want.mean_abs) > tol ||
+        std::abs(got.mean - want.mean) > tol ||
+        std::abs(got.mean_sq - want.mean_sq) > tol) {
+      return proptest::fail("pooling stats drifted past ", tol,
+                            " over ", runs.size(), " runs: mean ",
+                            got.mean, " vs ", want.mean);
+    }
+    return proptest::pass();
+  });
+}
+
+}  // namespace
+}  // namespace drift

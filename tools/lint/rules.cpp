@@ -112,7 +112,7 @@ std::optional<std::string> resolve_include(
 const std::set<std::string>& rule_registry() {
   static const std::set<std::string> kRules = {
       "thread", "random", "oracle-include", "narrow", "index", "logging",
-      "obs"};
+      "obs", "intrinsic"};
   return kRules;
 }
 
@@ -347,6 +347,55 @@ void rule_narrow(const Context& ctx, const LexedFile& file) {
   }
 }
 
+void rule_intrinsic(const Context& ctx, const LexedFile& file) {
+  // src/nn/simd/ is the one home for raw vector code; everything it
+  // exports goes through the kernel dispatch table.
+  if (starts_with(file.rel, "src/nn/simd/")) return;
+  static const std::regex kIntrinsicHeader(
+      R"((immintrin|x86intrin|emmintrin|smmintrin|tmmintrin|avxintrin|)"
+      R"(arm_neon|arm_sve)\.h)");
+  static const std::regex kIntrinsicToken(
+      R"((^|[^A-Za-z0-9_])(_mm(256|512)?_[a-z0-9_]+|__m(128|256|512)[di]?|)"
+      R"((u?int|float|poly)(8|16|32|64)x(1|2|4|8|16)_t))");
+  const bool in_src = starts_with(file.rel, "src/");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const auto inc = parse_include(file.lines[i].raw);
+    if (inc) {
+      // (a) Intrinsic headers are confined to the backend directory.
+      if (std::regex_search(inc->path, kIntrinsicHeader)) {
+        report(ctx, file, static_cast<int>(i), "intrinsic",
+               "vector intrinsic header <" + inc->path +
+                   "> outside src/nn/simd/; add a kernel to the "
+                   "dispatched backend instead");
+        continue;
+      }
+      // (b) Production code consuming the backend does so through the
+      // dispatch boundary, and says why.
+      if (in_src && !inc->angled) {
+        const auto resolved =
+            resolve_include(file.rel, inc->path, *ctx.file_set);
+        if (resolved && starts_with(*resolved, "src/nn/simd/")) {
+          report(ctx, file, static_cast<int>(i), "intrinsic",
+                 "include \"" + inc->path +
+                     "\" reaches into the SIMD backend; justify the "
+                     "dispatch-boundary consumer with '// drift-lint: "
+                     "allow(intrinsic) — <why>'");
+        }
+      }
+      continue;
+    }
+    // (a) Raw intrinsic calls / vector register types in ordinary code.
+    const std::string& code = file.lines[i].code;
+    std::smatch m;
+    if (std::regex_search(code, m, kIntrinsicToken)) {
+      report(ctx, file, static_cast<int>(i), "intrinsic",
+             "raw SIMD intrinsic '" + m[2].str() +
+                 "' outside src/nn/simd/; route through the kernel "
+                 "dispatch table (nn/simd/kernel_dispatch.hpp)");
+    }
+  }
+}
+
 void rule_index(const Context& ctx, const LexedFile& file) {
   if (!starts_with(file.rel, "src/")) return;
   static const std::regex kRawIndex(R"(\.data\(\)\s*\[)");
@@ -476,6 +525,7 @@ std::vector<Violation> run_rules(const std::vector<LexedFile>& files) {
     rule_random(ctx, file);
     rule_oracle_include(ctx, file);
     rule_narrow(ctx, file);
+    rule_intrinsic(ctx, file);
     rule_index(ctx, file);
     rule_logging(ctx, file);
     rule_obs(ctx, file);

@@ -18,6 +18,12 @@
 //                   int4/int8 code-carrying types — must carry an
 //                   allow(narrow) suppression justifying why the value
 //                   cannot overflow.
+//   intrinsic       raw SIMD usage outside src/nn/simd/: vector
+//                   intrinsic headers (immintrin.h, arm_neon.h, ...)
+//                   and intrinsic tokens (_mm*, __m256, int8x16_t, ...)
+//                   anywhere, plus src/ includes that resolve into
+//                   src/nn/simd/ — dispatch-boundary consumers carry a
+//                   justified allow(intrinsic).
 //   index           .data()[...] indexing with no DRIFT_CHECK* in the
 //                   enclosing function (src/ only); use at()/operator()
 //                   or add an explicit range check.
