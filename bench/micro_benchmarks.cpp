@@ -22,7 +22,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <string_view>
 #include <vector>
 
 #include "core/noise_budget.hpp"
@@ -36,6 +35,7 @@
 // force-scalar override to measure the SIMD payoff per backend.
 #include "nn/simd/kernel_dispatch.hpp"
 #include "nn/synthetic.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "proptest/proptest.hpp"
 #include "util/args.hpp"
@@ -474,11 +474,21 @@ void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
   std::string feature_list;
   if (features.avx2) feature_list += "avx2";
   if (features.neon) feature_list += feature_list.empty() ? "neon" : ",neon";
-  std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"default_threads\": %d,\n"
+  // Same schema-v2 meta block the metrics artifacts carry (git sha,
+  // backend, obs/scalar flags), so cross-machine bench diffs are
+  // interpretable.  Keys and values are plain identifiers; no JSON
+  // string escaping needed.
+  std::string meta_json;
+  for (const auto& [key, value] : obs::run_metadata()) {
+    if (!meta_json.empty()) meta_json += ", ";
+    meta_json += "\"" + key + "\": \"" + value + "\"";
+  }
+  std::fprintf(f, "{\n  \"schema_version\": 2,\n  \"meta\": {%s},\n"
+               "  \"hardware_threads\": %u,\n  \"default_threads\": %d,\n"
                "  \"cpu_features\": \"%s\",\n"
                "  \"proptest_corpus\": [\n",
-               std::thread::hardware_concurrency(), default_threads,
-               feature_list.c_str());
+               meta_json.c_str(), std::thread::hardware_concurrency(),
+               default_threads, feature_list.c_str());
   for (std::size_t i = 0; i < corpus.size(); ++i) {
     const auto& c = corpus[i];
     std::fprintf(f,
@@ -509,24 +519,10 @@ void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
 
 int main(int argc, char** argv) {
   // --metrics-out / --trace-out are ours, not google-benchmark's:
-  // consume them first and hide them from benchmark::Initialize, which
-  // rejects flags it does not recognize.
-  const Args args = Args::parse(argc, argv);
-  const obs::ReportOptions artifacts = obs::ReportOptions::from_args(args);
-  std::vector<char*> bench_argv;
-  for (int i = 0; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.rfind("--metrics-out", 0) == 0 ||
-        arg.rfind("--trace-out", 0) == 0) {
-      if ((arg == "--metrics-out" || arg == "--trace-out") &&
-          i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
-        ++i;  // separated-value form: skip the value token too
-      }
-      continue;
-    }
-    bench_argv.push_back(argv[i]);
-  }
-  int bench_argc = static_cast<int>(bench_argv.size());
+  // consume_argv strips them from argv before benchmark::Initialize,
+  // which rejects flags it does not recognize.
+  const obs::ReportOptions artifacts =
+      obs::ReportOptions::consume_argv(argc, argv);
 
   // The differential corpus always runs (it doubles as a smoke test of
   // the oracles); mismatches fail the binary after the benchmarks.
@@ -534,8 +530,8 @@ int main(int argc, char** argv) {
   int corpus_mismatches = 0;
   for (const auto& c : corpus) corpus_mismatches += c.mismatches;
   if (!std::getenv("DRIFT_SKIP_KERNEL_SWEEP")) run_kernel_sweep(corpus);
-  benchmark::Initialize(&bench_argc, bench_argv.data());
-  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <map>
+#include <string>
 
 #include "nn/simd/kernel_tables.hpp"
+#include "obs/metrics.hpp"
 
 namespace drift::nn::simd {
 
@@ -37,6 +40,28 @@ const KernelTable& best_table() {
   }();
   return table;
 }
+
+// Stamps backend identity into the metrics artifact meta block (schema
+// v2).  Registered from this translation unit because obs lives in
+// drift_util, which cannot link back into drift_nn; every consumer of
+// the nn pipeline references dispatch symbols, so this object file —
+// and with it the registration — is always pulled in.  The provider
+// reads live state at scrape time, so a set_force_scalar() flip during
+// a differential run is reflected in the artifact it produces.
+void provide_backend_metadata(std::map<std::string, std::string>& meta) {
+  meta["backend"] = active().name;
+  const CpuFeatures features = detect_cpu_features();
+  std::string joined;
+  if (features.avx2) joined += "avx2";
+  if (features.neon) joined += joined.empty() ? "neon" : ",neon";
+  meta["cpu_features"] = joined.empty() ? "none" : joined;
+  meta["force_scalar"] = force_scalar() ? "1" : "0";
+}
+
+[[maybe_unused]] const bool kMetadataRegistered = [] {
+  obs::register_run_metadata_provider(&provide_backend_metadata);
+  return true;
+}();
 
 }  // namespace
 

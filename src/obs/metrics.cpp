@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drift::obs {
 
@@ -22,6 +24,20 @@ int this_thread_shard() {
   thread_local const int shard =
       next.fetch_add(1, std::memory_order_relaxed) % kShards;
   return shard;
+}
+
+void atomic_min(std::atomic<std::int64_t>& target, std::int64_t v) {
+  std::int64_t cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& target, std::int64_t v) {
+  std::int64_t cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace detail
@@ -70,6 +86,96 @@ std::int64_t Histogram::total_count() const {
 
 void Histogram::reset() {
   for (auto& b : buckets_) b.reset();
+  for (auto& s : samples_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.min.store(std::numeric_limits<std::int64_t>::max(),
+                std::memory_order_relaxed);
+    s.max.store(std::numeric_limits<std::int64_t>::min(),
+                std::memory_order_relaxed);
+  }
+}
+
+std::int64_t Histogram::min_observed() const {
+  std::int64_t m = std::numeric_limits<std::int64_t>::max();
+  for (const auto& s : samples_) {
+    m = std::min(m, s.min.load(std::memory_order_relaxed));
+  }
+  return m == std::numeric_limits<std::int64_t>::max() ? 0 : m;
+}
+
+std::int64_t Histogram::max_observed() const {
+  std::int64_t m = std::numeric_limits<std::int64_t>::min();
+  for (const auto& s : samples_) {
+    m = std::max(m, s.max.load(std::memory_order_relaxed));
+  }
+  return m == std::numeric_limits<std::int64_t>::min() ? 0 : m;
+}
+
+bool Histogram::quantiles_exact() const {
+  for (const auto& s : samples_) {
+    if (s.count.load(std::memory_order_relaxed) > kSamplesPerShard) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Histogram::quantile(double p) const {
+  // Rank of the order statistic this quantile names: ceil(p*N),
+  // 1-based, clamped so p<=0 is the minimum and p>=1 the maximum.
+  // src/ref's sorted_quantile oracle uses the identical expression, so
+  // the exact path and the oracle agree bitwise.
+  const std::vector<std::int64_t> bucket_counts = counts();
+  std::int64_t total = 0;
+  for (const std::int64_t c : bucket_counts) total += c;
+  if (total == 0) return 0.0;
+  const std::int64_t rank = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(
+          std::ceil(p * static_cast<double>(total))),
+      1, total);
+
+  if (quantiles_exact()) {
+    std::vector<std::int64_t> values;
+    values.reserve(static_cast<std::size_t>(total));
+    for (const auto& s : samples_) {
+      const std::int64_t n = s.count.load(std::memory_order_relaxed);
+      for (std::int64_t i = 0; i < n; ++i) {
+        values.push_back(
+            s.values[static_cast<std::size_t>(i)].load(
+                std::memory_order_relaxed));
+      }
+    }
+    // The snapshot raced with concurrent observes?  Scrapes happen at
+    // run boundaries, but stay safe: clamp the rank to what we read.
+    std::sort(values.begin(), values.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        std::min<std::int64_t>(rank, static_cast<std::int64_t>(values.size())) -
+        1);
+    return static_cast<double>(values[idx]);
+  }
+
+  // Bucket path: find the bucket holding the rank, then interpolate
+  // linearly inside its value range clamped to the observed [min, max].
+  // The true order statistic lies in the same clamped range, so the
+  // estimate is off by at most that range's width; p=1 still returns
+  // the exact maximum (the final nonempty bucket clamps to it).
+  const std::int64_t min_v = min_observed();
+  const std::int64_t max_v = max_observed();
+  std::int64_t cum = 0;
+  std::size_t j = 0;
+  for (; j < bucket_counts.size(); ++j) {
+    if (cum + bucket_counts[j] >= rank) break;
+    cum += bucket_counts[j];
+  }
+  if (j >= bucket_counts.size()) return static_cast<double>(max_v);
+  double lo = static_cast<double>(j == 0 ? min_v : bounds_[j - 1]);
+  double hi = static_cast<double>(
+      j < bounds_.size() ? std::min(bounds_[j], max_v) : max_v);
+  lo = std::max(lo, static_cast<double>(min_v));
+  if (hi < lo) hi = lo;
+  const double f = static_cast<double>(rank - cum) /
+                   static_cast<double>(bucket_counts[j]);
+  return lo + f * (hi - lo);
 }
 
 Registry& Registry::global() {
@@ -182,14 +288,81 @@ void append_layer_json(std::string& out, const LayerRecord& r) {
   out += "}";
 }
 
+/// Providers and overrides behind run_metadata(); function-local so
+/// static-init-order is safe for providers registered from other
+/// translation units' global initializers.
+struct MetadataState {
+  std::mutex mutex;
+  std::vector<MetadataProvider> providers;
+  std::map<std::string, std::string> overrides;
+};
+
+MetadataState& metadata_state() {
+  static MetadataState state;
+  return state;
+}
+
 }  // namespace
+
+void register_run_metadata_provider(MetadataProvider provider) {
+  MetadataState& state = metadata_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.providers.push_back(provider);
+}
+
+void set_run_metadata(const std::string& key, std::string value) {
+  MetadataState& state = metadata_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.overrides[key] = std::move(value);
+}
+
+std::map<std::string, std::string> run_metadata() {
+  std::map<std::string, std::string> meta;
+  // Build-time provenance: DRIFT_GIT_SHA is stamped by src/obs/
+  // CMakeLists at configure time (stale until the next CMake rerun,
+  // which run-diff consumers tolerate — see DESIGN.md).
+#ifdef DRIFT_GIT_SHA
+  meta["git_sha"] = DRIFT_GIT_SHA;
+#else
+  meta["git_sha"] = "unknown";
+#endif
+#ifdef DRIFT_OBS_OFF
+  meta["obs_off"] = "1";
+#else
+  meta["obs_off"] = "0";
+#endif
+  meta["threads"] =
+      std::to_string(util::ThreadPool::instance().num_threads());
+  MetadataState& state = metadata_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const MetadataProvider provider : state.providers) provider(meta);
+  for (const auto& [key, value] : state.overrides) meta[key] = value;
+  return meta;
+}
 
 LayerRecord* Registry::current_layer() { return tl_current_layer; }
 
 std::string Registry::to_json(const std::vector<std::string>& prefixes) const {
+  // Collected before taking the registry lock: providers may touch
+  // other singletons (dispatch tables, the thread pool).
+  const std::map<std::string, std::string> meta = run_metadata();
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\n  \"counters\": {";
+  std::string out = "{\n  \"schema_version\": " +
+                    std::to_string(kMetricsSchemaVersion) + ",\n";
+  out += "  \"meta\": {";
   bool first = true;
+  for (const auto& [key, value] : meta) {
+    if (!matches_prefixes("meta." + key, prefixes)) continue;
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, key);
+    out += ": ";
+    append_json_string(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"counters\": {";
+  first = true;
   for (const auto& [name, c] : counters_) {
     if (!matches_prefixes(name, prefixes)) continue;
     out += first ? "\n    " : ",\n    ";
@@ -227,7 +400,26 @@ std::string Registry::to_json(const std::vector<std::string>& prefixes) const {
     for (std::size_t i = 0; i < counts.size(); ++i) {
       out += (i ? ", " : "") + std::to_string(counts[i]);
     }
-    out += "], \"total\": " + std::to_string(h->total_count()) + "}";
+    const std::int64_t total = h->total_count();
+    out += "], \"total\": " + std::to_string(total);
+    if (total > 0) {
+      out += ", \"min\": " + std::to_string(h->min_observed());
+      out += ", \"max\": " + std::to_string(h->max_observed());
+      out += ", \"quantiles\": {";
+      static constexpr struct {
+        const char* key;
+        double p;
+      } kQuantiles[] = {{"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95},
+                        {"p99", 0.99}, {"p99.9", 0.999}};
+      for (std::size_t q = 0; q < std::size(kQuantiles); ++q) {
+        out += q ? ", " : "";
+        append_json_string(out, kQuantiles[q].key);
+        out += ": " + format_double(h->quantile(kQuantiles[q].p));
+      }
+      out += "}, \"exact\": ";
+      out += h->quantiles_exact() ? "true" : "false";
+    }
+    out += "}";
   }
   out += first ? "},\n" : "\n  },\n";
 

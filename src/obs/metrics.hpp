@@ -30,6 +30,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -43,12 +44,32 @@ namespace drift::obs {
 /// histogram's footprint (shards x buckets) small.
 inline constexpr int kShards = 16;
 
+/// Per-shard exact-sample capacity.  While no shard has seen more
+/// observations than this, histogram quantiles are computed exactly
+/// from the complete sample set; beyond it the estimator falls back to
+/// bucket interpolation.
+inline constexpr std::int64_t kSamplesPerShard = 256;
+
 namespace detail {
 /// Shard index of the calling thread (stable for the thread's life).
 int this_thread_shard();
 
 struct alignas(64) ShardSlot {
   std::atomic<std::int64_t> value{0};
+};
+
+/// Relaxed CAS min/max — uncontended in practice because shards are
+/// per-thread; the loop only spins when >16 threads share a shard.
+void atomic_min(std::atomic<std::int64_t>& target, std::int64_t v);
+void atomic_max(std::atomic<std::int64_t>& target, std::int64_t v);
+
+/// One shard of a histogram's exact-sample reservoir (see
+/// kSamplesPerShard below for the exactness contract).
+struct alignas(64) SampleShard {
+  std::atomic<std::int64_t> count{0};  ///< observations routed here
+  std::atomic<std::int64_t> min{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max{std::numeric_limits<std::int64_t>::min()};
+  std::array<std::atomic<std::int64_t>, kSamplesPerShard> values{};
 };
 }  // namespace detail
 
@@ -96,13 +117,25 @@ class Gauge {
 
 /// Fixed-bucket histogram.  Bucket i counts observations in
 /// (bound[i-1], bound[i]]; a final overflow bucket catches everything
-/// above the last bound.  observe() is two loads and one sharded add.
+/// above the last bound.  observe() is a bucket add, a reservoir
+/// append while the shard reservoir has room, and a min/max update —
+/// all relaxed sharded atomics, still hot-path safe.
 class Histogram {
  public:
   explicit Histogram(std::vector<std::int64_t> upper_bounds);
 
   void observe(std::int64_t v) {
     buckets_[bucket_index(v)].add(1);
+    detail::SampleShard& shard =
+        samples_[static_cast<std::size_t>(detail::this_thread_shard())];
+    const std::int64_t slot =
+        shard.count.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kSamplesPerShard) {
+      shard.values[static_cast<std::size_t>(slot)].store(
+          v, std::memory_order_relaxed);
+    }
+    detail::atomic_min(shard.min, v);
+    detail::atomic_max(shard.max, v);
   }
 
   const std::vector<std::int64_t>& upper_bounds() const { return bounds_; }
@@ -110,12 +143,33 @@ class Histogram {
   /// trailing entry is the overflow bucket).
   std::vector<std::int64_t> counts() const;
   std::int64_t total_count() const;
+
+  /// Smallest / largest observation so far (0 when empty).
+  std::int64_t min_observed() const;
+  std::int64_t max_observed() const;
+
+  /// True while every shard reservoir still holds all of its
+  /// observations, i.e. quantile() answers from the exact sorted
+  /// sample set.
+  bool quantiles_exact() const;
+
+  /// The p-quantile (p in [0, 1]) at rank ceil(p * N), 1-based, so
+  /// p = 0 names the minimum and p = 1 the maximum.  Exact while
+  /// quantiles_exact(); afterwards interpolated inside the bucket that
+  /// holds the rank, clamped to [min_observed, max_observed] — the
+  /// estimate and the true order statistic always share that bucket,
+  /// so the error is bounded by the (clamped) bucket width (pinned by
+  /// tests/obs/prop_obs.cpp against the src/ref sorted-vector oracle).
+  /// Monotone in p by construction; 0 when empty.
+  double quantile(double p) const;
+
   void reset();
 
  private:
   std::size_t bucket_index(std::int64_t v) const;
   std::vector<std::int64_t> bounds_;       ///< ascending, strict
   std::vector<Counter> buckets_;           ///< bounds.size() + 1
+  std::array<detail::SampleShard, kShards> samples_{};
 };
 
 /// One layer's scraped attribution record.  All fields are filled by
@@ -148,6 +202,34 @@ struct LayerRecord {
   }
 };
 
+// ---------------------------------------------------------------------
+// Run metadata (artifact schema v2).
+// ---------------------------------------------------------------------
+
+/// Version stamped into every metrics artifact.  v2 added the "meta"
+/// block (git sha, backend, cpu_features, thread count, obs/scalar
+/// flags) and histogram min/max/quantiles; v1 artifacts carry neither.
+inline constexpr int kMetricsSchemaVersion = 2;
+
+/// Fills in the metadata keys only the registering component knows
+/// (e.g. the SIMD backend registers backend/cpu_features/force_scalar
+/// from src/nn/simd/kernel_dispatch.cpp).  Providers run at scrape
+/// time, so toggled state (force-scalar, pool resizes) is reported as
+/// of the scrape.  Not available under DRIFT_OBS_OFF?  It is: the meta
+/// block survives obs-off builds so even empty artifacts say where
+/// they came from.
+using MetadataProvider = void (*)(std::map<std::string, std::string>&);
+void register_run_metadata_provider(MetadataProvider provider);
+
+/// Explicit per-run override/extension (e.g. a workload name); wins
+/// over built-ins and providers.
+void set_run_metadata(const std::string& key, std::string value);
+
+/// The merged metadata map: built-ins (git_sha from the build-time
+/// DRIFT_GIT_SHA define, obs_off, threads), then registered providers,
+/// then set_run_metadata overrides.
+std::map<std::string, std::string> run_metadata();
+
 /// Process-wide metric namespace.
 class Registry {
  public:
@@ -171,10 +253,12 @@ class Registry {
   LayerRecord* current_layer();
 
   /// Canonical JSON of every metric plus the layer records, for the
-  /// golden tests and the --metrics-out artifacts.  When `prefixes` is
-  /// non-empty, only metrics whose name starts with one of them are
-  /// emitted (layer records are always included) — the golden test
-  /// filters out wall-clock-derived metrics this way.
+  /// golden tests and the --metrics-out artifacts (schema v2: see
+  /// kMetricsSchemaVersion).  When `prefixes` is non-empty, only
+  /// metrics whose name starts with one of them are emitted (layer
+  /// records are always included); metadata keys filter as
+  /// "meta.<key>", so the golden test's deterministic-prefix list
+  /// drops the volatile git sha along with the wall-clock metrics.
   std::string to_json(const std::vector<std::string>& prefixes = {}) const;
 
   /// Human-readable per-layer table + counter dump (util/table format).

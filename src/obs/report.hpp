@@ -6,6 +6,14 @@
 //   ... run the pipeline ...
 //   artifacts.write();                                     // emits the files
 //
+// Parsing a request also arms an atexit flush: if the binary exits
+// (normally or via exit()) before the explicit write() call — a thrown
+// DRIFT_CHECK, an early return, a failed example run — the requested
+// artifacts are still written from whatever the registry and tracer
+// hold at that point, so a crashed run leaves a partial artifact for
+// drift_report triage.  Signal kills (SIGKILL/SIGSEGV) and abort()
+// still lose the tail: atexit handlers do not run there.
+//
 // Both functions are compiled in every build; under DRIFT_OBS_OFF the
 // registry and tracer are simply empty, so the artifacts degrade to
 // empty scrapes rather than breaking the CLI contract.
@@ -25,11 +33,20 @@ struct ReportOptions {
   std::string trace_path;    ///< --trace-out; empty means "don't".
 
   /// Reads --metrics-out and --trace-out from `args` and, when a trace
-  /// was requested, turns span collection on for the whole run.
+  /// was requested, turns span collection on for the whole run.  Arms
+  /// the atexit flush (see header comment).
   static ReportOptions from_args(const Args& args);
 
+  /// Same contract as from_args, for binaries whose remaining argv is
+  /// handed to another flag parser (google-benchmark rejects flags it
+  /// does not recognize): parses AND removes --metrics-out/--trace-out
+  /// in both --flag=value and --flag value forms, compacting argv in
+  /// place and updating argc (argv[argc] is reset to nullptr).
+  static ReportOptions consume_argv(int& argc, char** argv);
+
   /// Writes the requested artifacts (canonical metrics JSON, Chrome
-  /// trace JSON).  Returns false if any requested write failed.
+  /// trace JSON) and disarms the atexit flush.  Returns false if any
+  /// requested write failed.
   bool write() const;
 };
 

@@ -119,4 +119,15 @@ std::int64_t pipeline_exit_closed_form(std::span<const std::int64_t> costs,
   return sum + (stages - 1) * peak;
 }
 
+std::int64_t sorted_quantile(std::span<const std::int64_t> values, double p) {
+  DRIFT_CHECK(!values.empty(), "quantile of an empty sample is undefined");
+  DRIFT_CHECK(p >= 0.0 && p <= 1.0, "p must be in [0, 1]");
+  std::vector<std::int64_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<std::int64_t>(sorted.size());
+  const std::int64_t rank = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::ceil(p * static_cast<double>(n))), 1, n);
+  return sorted[static_cast<std::size_t>(rank - 1)];
+}
+
 }  // namespace drift::ref

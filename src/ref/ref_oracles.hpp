@@ -101,4 +101,15 @@ RenderingOracle brute_force_rendering(std::span<const float> values,
 std::int64_t pipeline_exit_closed_form(std::span<const std::int64_t> costs,
                                        std::int64_t stages);
 
+// ---------------------------------------------------------------------
+// Exact order statistic (oracle for obs::Histogram::quantile).
+// ---------------------------------------------------------------------
+
+/// The exact p-quantile of `values` under the nearest-rank definition
+/// the obs histogram uses: the observation with 1-based sorted rank
+/// clamp(ceil(p * n), 1, n).  Copies and sorts; O(n log n) and meant
+/// only for test-sized inputs.  `values` must be non-empty and p in
+/// [0, 1].
+std::int64_t sorted_quantile(std::span<const std::int64_t> values, double p);
+
 }  // namespace drift::ref

@@ -1,0 +1,18 @@
+// Fixture: tools/report/ is a reporting sink — direct stdio is its
+// output channel, so the `logging` and `obs` rules must stay silent.
+#include <cstdio>
+#include <iostream>
+
+struct FixtureRegistry {
+  int* counter(const char*) { return nullptr; }
+  static FixtureRegistry& global();
+};
+
+void fixture_sink(int n) {
+  printf("summary row\n");
+  fprintf(stderr, "diagnostic\n");
+  std::cout << "canonical json";
+  for (int i = 0; i < n; ++i) {
+    FixtureRegistry::global().counter("lookup.in.loop");  // still exempt
+  }
+}

@@ -1,0 +1,15 @@
+// Fixture: library-style code under tools/ that is NOT a reporting
+// sink — the `logging` and `obs` rules apply exactly as in src/.
+#include <cstdio>
+
+struct FixtureRegistry {
+  int* counter(const char*) { return nullptr; }
+  static FixtureRegistry& global();
+};
+
+void fixture_tool(int n) {
+  printf("%d", n);  // violation: logging
+  for (int i = 0; i < n; ++i) {
+    FixtureRegistry::global().counter("hot.loop");  // violation: obs
+  }
+}

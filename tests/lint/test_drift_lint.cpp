@@ -51,7 +51,7 @@ std::string fixtures_root() { return DRIFT_LINT_FIXTURES; }
 
 TEST(DriftLint, JsonOutputMatchesGoldenFileExactly) {
   const RunResult r =
-      run_lint("--root " + fixtures_root() + " --format=json src tests");
+      run_lint("--root " + fixtures_root() + " --format=json src tools tests");
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_EQ(r.output, read_file(DRIFT_LINT_EXPECTED));
 }

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -220,6 +222,137 @@ TEST(PropObs, HistogramBucketTotalsEqualObservationCount) {
     }
     if (counts != want) {
       return proptest::fail("bucket layout diverges from brute force");
+    }
+    return proptest::pass();
+  });
+}
+
+// Shared generator for the quantile properties: a random strictly
+// ascending bound set and `n` single-threaded observations (all
+// observes land on this thread's sample shard, so the exact path stays
+// available iff n <= kSamplesPerShard).
+struct QuantileCase {
+  std::unique_ptr<obs::Histogram> histogram;  // atomics: not movable itself
+  std::vector<std::int64_t> values;
+  std::vector<std::int64_t> bounds;
+};
+
+QuantileCase make_quantile_case(Rng& rng, std::int64_t n) {
+  const int num_bounds = static_cast<int>(rng.uniform_int(1, 8));
+  std::vector<std::int64_t> bounds(static_cast<std::size_t>(num_bounds));
+  bounds[0] = rng.uniform_int(-200, 200);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    bounds[i] = bounds[i - 1] + rng.uniform_int(1, 80);
+  }
+  QuantileCase out{std::make_unique<obs::Histogram>(bounds), {}, bounds};
+  out.values.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t v =
+        rng.uniform_int(bounds.front() - 100, bounds.back() + 100);
+    out.histogram->observe(v);
+    out.values.push_back(v);
+  }
+  return out;
+}
+
+TEST(PropObs, QuantileExactPathMatchesSortedOracle) {
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    // n <= kSamplesPerShard keeps every observation in the reservoir.
+    const std::int64_t n =
+        rng.uniform_int(1, std::min<std::int64_t>(obs::kSamplesPerShard,
+                                                  8 * size + 1));
+    const QuantileCase c = make_quantile_case(rng, n);
+    if (!c.histogram->quantiles_exact()) {
+      return proptest::fail("n = ", n, " <= ", obs::kSamplesPerShard,
+                            " single-threaded observations must stay exact");
+    }
+    const auto max_it = std::max_element(c.values.begin(), c.values.end());
+    const auto min_it = std::min_element(c.values.begin(), c.values.end());
+    if (c.histogram->quantile(0.0) != static_cast<double>(*min_it)) {
+      return proptest::fail("p=0 is not the minimum observation");
+    }
+    if (c.histogram->quantile(1.0) != static_cast<double>(*max_it)) {
+      return proptest::fail("p=1 is not the maximum observation");
+    }
+    for (int i = 0; i < 12; ++i) {
+      const double p = rng.uniform(0.0, 1.0);
+      const double got = c.histogram->quantile(p);
+      const std::int64_t want = ref::sorted_quantile(c.values, p);
+      if (got != static_cast<double>(want)) {
+        return proptest::fail("quantile(", p, ") = ", got,
+                              " but the sorted oracle says ", want);
+      }
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropObs, QuantileIsMonotoneInP) {
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    // Straddle the reservoir capacity so both paths are exercised.
+    const std::int64_t n = rng.uniform_int(1, 40 * size + 300);
+    const QuantileCase c = make_quantile_case(rng, n);
+    double prev = c.histogram->quantile(0.0);
+    for (int i = 1; i <= 40; ++i) {
+      const double p = static_cast<double>(i) / 40.0;
+      const double cur = c.histogram->quantile(p);
+      if (cur < prev) {
+        return proptest::fail("quantile not monotone at p = ", p, ": ", cur,
+                              " < ", prev, " (n = ", n, ")");
+      }
+      prev = cur;
+    }
+    return proptest::pass();
+  });
+}
+
+TEST(PropObs, QuantileBucketPathBoundedByBucketWidthAndExactAtPOne) {
+  proptest::gtest_check([](Rng& rng, int size) -> proptest::Result {
+    // Overflow the single shard's reservoir to force the bucket path.
+    const std::int64_t n =
+        obs::kSamplesPerShard + rng.uniform_int(1, 40 * size);
+    QuantileCase c = make_quantile_case(rng, n);
+    if (c.histogram->quantiles_exact()) {
+      return proptest::fail("n = ", n, " > ", obs::kSamplesPerShard,
+                            " must overflow the reservoir");
+    }
+    const auto max_it = std::max_element(c.values.begin(), c.values.end());
+    const auto min_it = std::min_element(c.values.begin(), c.values.end());
+    if (c.histogram->quantile(1.0) != static_cast<double>(*max_it)) {
+      return proptest::fail("bucket-path p=1 must still be the exact max");
+    }
+    const std::vector<std::int64_t> counts = c.histogram->counts();
+    for (int i = 0; i < 12; ++i) {
+      const double p = rng.uniform(0.0, 1.0);
+      const double got = c.histogram->quantile(p);
+      const std::int64_t exact = ref::sorted_quantile(c.values, p);
+      // Re-derive the clamped range of the bucket holding the exact
+      // order statistic; the estimate interpolates inside the same
+      // bucket, so both lie in [lo, hi].
+      const std::int64_t rank = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(
+              std::ceil(p * static_cast<double>(n))),
+          1, n);
+      std::int64_t cum = 0;
+      std::size_t j = 0;
+      for (; j < counts.size(); ++j) {
+        if (cum + counts[j] >= rank) break;
+        cum += counts[j];
+      }
+      const double lo = std::max(
+          static_cast<double>(j == 0 ? *min_it : c.bounds[j - 1]),
+          static_cast<double>(*min_it));
+      double hi = static_cast<double>(
+          j < c.bounds.size() ? std::min(c.bounds[j], *max_it) : *max_it);
+      hi = std::max(hi, lo);
+      if (got < lo || got > hi) {
+        return proptest::fail("estimate ", got, " escapes bucket range [",
+                              lo, ", ", hi, "] at p = ", p);
+      }
+      if (std::abs(got - static_cast<double>(exact)) > hi - lo) {
+        return proptest::fail("estimate ", got, " misses exact ", exact,
+                              " by more than the bucket width ", hi - lo);
+      }
     }
     return proptest::pass();
   });

@@ -21,6 +21,16 @@ bool starts_with(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+/// CLI front-ends whose whole job is writing to stdout/stderr: the
+/// report and lint tools plus the driftsim driver.  These are allowed
+/// stdio sinks for the `logging` rule so they don't need a suppression
+/// on every print statement; library code under tools/ (anything else)
+/// still routes through util/logging.hpp.
+bool is_reporting_sink(const std::string& rel) {
+  return starts_with(rel, "tools/lint/") ||
+         starts_with(rel, "tools/report/") || rel == "tools/driftsim.cpp";
+}
+
 bool is_ident(char c) {
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9') || c == '_';
@@ -424,7 +434,10 @@ void rule_index(const Context& ctx, const LexedFile& file) {
 }
 
 void rule_logging(const Context& ctx, const LexedFile& file) {
-  if (!starts_with(file.rel, "src/")) return;
+  const bool covered =
+      starts_with(file.rel, "src/") ||
+      (starts_with(file.rel, "tools/") && !is_reporting_sink(file.rel));
+  if (!covered) return;
   static const std::regex kStdio(R"((^|[^A-Za-z0-9_:])(printf|fprintf|puts)\s*\()");
   for (std::size_t i = 0; i < file.lines.size(); ++i) {
     const std::string& code = file.lines[i].code;
@@ -450,9 +463,10 @@ void rule_obs(const Context& ctx, const LexedFile& file) {
   // into a `static` (what the DRIFT_OBS_* macros expand to) are fine.
   // src/obs/ itself — the macro definitions and the registry — is
   // exempt.
-  if (!starts_with(file.rel, "src/") || starts_with(file.rel, "src/obs/")) {
-    return;
-  }
+  const bool covered =
+      (starts_with(file.rel, "src/") && !starts_with(file.rel, "src/obs/")) ||
+      (starts_with(file.rel, "tools/") && !is_reporting_sink(file.rel));
+  if (!covered) return;
   static const std::regex kLookup(
       R"(\.\s*(counter|gauge|histogram|layer_record)\s*\()");
   int loop_depth = 0;

@@ -28,10 +28,15 @@
 //                   enclosing function (src/ only); use at()/operator()
 //                   or add an explicit range check.
 //   logging         printf/fprintf/puts/std::cout/std::cerr/std::clog
-//                   in src/ — use util/logging.hpp.
+//                   in src/ and tools/ — use util/logging.hpp.  The
+//                   designated reporting sinks (tools/lint/,
+//                   tools/report/, tools/driftsim.cpp) are CLI
+//                   front-ends whose stdout IS the product and are
+//                   exempt.
 //   obs             metrics-registry lookup-by-string (.counter("..."),
 //                   .gauge, .histogram, .layer_record) inside a loop in
-//                   src/ outside src/obs/ — cache the handle (static
+//                   src/ outside src/obs/, and in tools/ outside the
+//                   reporting sinks — cache the handle (static
 //                   pointer, or the DRIFT_OBS_* macros which do so).
 //   suppression     a drift-lint allow comment that names an unknown
 //                   rule or carries no justification text.  Not itself

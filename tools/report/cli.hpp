@@ -1,0 +1,25 @@
+// drift_report command-line front-end, separated from main() so the
+// ctest suite can drive the full CLI in-process and assert on exit
+// codes and byte-exact output.
+//
+//   drift_report summarize <metrics.json> [--trace <trace.json>]
+//                [--json] [--peak-bytes-per-cycle <v>]
+//   drift_report diff <a.json> <b.json> [--tolerances <tol.json>] [--json]
+//   drift_report ratchet <BENCH_kernels.json> --baseline <baseline.json>
+//                [--max-slowdown <v>] [--json]
+//
+// Exit codes follow the drift_lint convention: 0 clean, 1 findings
+// (out-of-tolerance diff, ratchet regression), 2 usage/IO/parse error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace drift::report {
+
+/// Runs one CLI invocation.  `out` receives what would go to stdout,
+/// `err` what would go to stderr.  Returns the process exit code.
+int run_cli(const std::vector<std::string>& args, std::string& out,
+            std::string& err);
+
+}  // namespace drift::report
