@@ -11,7 +11,10 @@
 // on this machine's `cpu_features`).  The JSON also records the
 // runtime of the fixed-seed property-test corpus (the differential
 // suites behind `ctest -L prop`), so oracle-check cost is tracked
-// alongside kernel throughput.  DRIFT_BENCH_GEMM_SIZE overrides the
+// alongside kernel throughput, and a fixed-seed serving run whose
+// `serve_p99_us` entry (ops_per_s = 1e6/p99_us, simulated cycles, so
+// deterministic) lets the ratchet gate serving tail latency.
+// DRIFT_BENCH_GEMM_SIZE overrides the
 // fp32 GEMM edge (default 1024), DRIFT_BENCH_INT_GEMM_SIZE the
 // backend-sweep edge (default 512); DRIFT_SKIP_KERNEL_SWEEP=1 skips
 // both sweeps.
@@ -38,6 +41,7 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "proptest/proptest.hpp"
+#include "serve/simulator.hpp"
 #include "util/args.hpp"
 #include "ref/ref_kernels.hpp"
 #include "ref/ref_oracles.hpp"
@@ -462,6 +466,54 @@ void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
              static_cast<double>(x.numel()));
     }
     nn::simd::set_force_scalar(prev_force);
+  }
+
+  // Serving tail latency: one fixed-seed open-loop run through the
+  // continuous-batching event loop (tiny-bert tenant, bursty arrivals
+  // calibrated to ~0.75 load from the canonical service time).  The
+  // latency is simulated cycles, so ops_per_s — defined as 1e6/p99_us —
+  // is bit-deterministic across machines and thread counts, and the
+  // ratchet's max-slowdown gate bounds p99 growth like any kernel.
+  {
+    serve::ServeConfig scfg;
+    scfg.exec.hw.array.rows = 16;
+    scfg.exec.hw.array.cols = 16;
+    scfg.max_batch = 8;
+    serve::TenantSpec tenant;
+    tenant.name = "bench";
+    tenant.workload = serve::serving_workload("tiny-bert");
+    tenant.arrival.kind = serve::ArrivalKind::kBursty;
+    tenant.num_requests = 256;
+    tenant.seed = 424242;
+    scfg.tenants.push_back(tenant);
+
+    serve::ServeConfig probe_cfg = scfg;
+    probe_cfg.tenants[0].num_requests = 1;
+    probe_cfg.tenants[0].unique_mix_per_request = false;
+    serve::Simulator probe(probe_cfg, util::ThreadPool::instance());
+    const double service =
+        static_cast<double>(probe.executor().execute_canonical(0).cycles);
+    scfg.tenants[0].arrival.mean_interarrival_cycles = service / 0.75;
+
+    serve::Simulator sim(scfg, util::ThreadPool::instance());
+    serve::ServeResult sres;
+    const double wall = best_seconds([&] { sres = sim.run(); }, 1);
+    const double p99_us = 1e6 *
+                          static_cast<double>(sres.overall.p99_cycles) /
+                          scfg.exec.hw.energy.clock_hz;
+    KernelResult r;
+    r.name = "serve_p99_us";
+    r.shape = "tiny-bert@16x16";
+    r.threads = 1;
+    r.backend = nn::simd::active().name;
+    r.seconds = wall;
+    r.ops_per_s = 1e6 / p99_us;
+    results.push_back(r);
+    std::fprintf(stderr,
+                 "[kernels] %-16s %-18s threads=%d backend=%-6s %.3fs  "
+                 "p99=%.2fus (%.3g \"ops/s\")\n",
+                 r.name.c_str(), r.shape.c_str(), r.threads,
+                 r.backend.c_str(), wall, p99_us, r.ops_per_s);
   }
   util::ThreadPool::instance().resize(0);
 

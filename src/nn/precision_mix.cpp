@@ -69,6 +69,79 @@ std::string to_string(MixAlgorithm algo) {
   return "?";
 }
 
+std::vector<bool> build_act_pattern(const LayerGemm& layer, Rng& rng,
+                                    const SubTensorScaleProfile& act_profile,
+                                    const MixConfig& config) {
+  // Convolution GEMM rows are streamed region-block-ordered (all output
+  // positions of one DRQ region back to back), so precision decisions
+  // apply to blocks of region^2 consecutive rows; token streams decide
+  // per row.
+  const std::int64_t block =
+      layer.kind == LayerKind::kConv
+          ? std::min<std::int64_t>(16, layer.dims.M)
+          : 1;
+  const std::int64_t groups = (layer.dims.M + block - 1) / block;
+  const auto act_stats = sample_subtensor_stats(
+      rng, groups, std::max<std::int64_t>(layer.dims.K * block, 2),
+      act_profile);
+  const auto group_low =
+      classify(act_stats, std::max<std::int64_t>(layer.dims.K * block, 2),
+               config, /*operand_is_dynamic=*/true);
+  std::vector<bool> row_is_low(static_cast<std::size_t>(layer.dims.M));
+  for (std::int64_t r = 0; r < layer.dims.M; ++r) {
+    row_is_low[static_cast<std::size_t>(r)] =
+        group_low[static_cast<std::size_t>(r / block)];
+  }
+  return row_is_low;
+}
+
+std::vector<bool> build_weight_pattern(const LayerGemm& layer, Rng& rng,
+                                       const WorkloadSpec& spec,
+                                       const MixConfig& config) {
+  const bool second_operand_is_activation =
+      layer.kind == LayerKind::kAttnScore ||
+      layer.kind == LayerKind::kAttnContext;
+  const auto& w_profile = second_operand_is_activation
+                              ? spec.act_profile
+                              : spec.weight_profile;
+  const bool weights_dynamic =
+      config.algo == MixAlgorithm::kDrift &&
+      (config.dynamic_weights || second_operand_is_activation);
+  const auto w_stats = sample_subtensor_stats(
+      rng, layer.dims.N, std::max<std::int64_t>(layer.dims.K, 2),
+      w_profile);
+  return classify(w_stats, std::max<std::int64_t>(layer.dims.K, 2), config,
+                  weights_dynamic);
+}
+
+LayerMix assemble_mix(const LayerGemm& layer, std::vector<bool> row_is_low,
+                      const std::vector<bool>& col_is_low,
+                      const MixConfig& config) {
+  LayerMix mix;
+  mix.layer = layer;
+  mix.row_is_low = std::move(row_is_low);
+  core::LayerWork work;
+  work.k = layer.dims.K;
+  work.pa_high = config.drift.hp.bits();
+  work.pa_low = config.drift.lp.bits();
+  work.pw_high = config.drift.hp.bits();
+  work.pw_low = config.drift.lp.bits();
+  for (bool is_low : mix.row_is_low) {
+    (is_low ? work.m_low : work.m_high) += 1;
+  }
+  for (bool is_low : col_is_low) {
+    (is_low ? work.n_low : work.n_high) += 1;
+  }
+  mix.work = work;
+  mix.act_low_fraction =
+      static_cast<double>(work.m_low) /
+      static_cast<double>(std::max<std::int64_t>(layer.dims.M, 1));
+  mix.weight_low_fraction =
+      static_cast<double>(work.n_low) /
+      static_cast<double>(std::max<std::int64_t>(layer.dims.N, 1));
+  return mix;
+}
+
 std::vector<LayerMix> build_mixes(const WorkloadSpec& spec,
                                   const MixConfig& config) {
   Rng base_rng(config.seed);
@@ -76,69 +149,13 @@ std::vector<LayerMix> build_mixes(const WorkloadSpec& spec,
   mixes.reserve(spec.layers.size());
   std::uint64_t stream = 0;
   for (const LayerGemm& layer : spec.layers) {
+    // One rng per layer, consumed activation-first then weight: the
+    // operand builders share it so the stream order (and therefore
+    // every sampled stat) is unchanged from the original fused loop.
     Rng rng = base_rng.fork(stream++);
-    LayerMix mix;
-    mix.layer = layer;
-
-    const bool second_operand_is_activation =
-        layer.kind == LayerKind::kAttnScore ||
-        layer.kind == LayerKind::kAttnContext;
-
-    // Activation rows.  Convolution GEMM rows are streamed
-    // region-block-ordered (all output positions of one DRQ region back
-    // to back), so precision decisions apply to blocks of region^2
-    // consecutive rows; token streams decide per row.
-    const std::int64_t block =
-        layer.kind == LayerKind::kConv
-            ? std::min<std::int64_t>(16, layer.dims.M)
-            : 1;
-    const std::int64_t groups = (layer.dims.M + block - 1) / block;
-    const auto act_stats = sample_subtensor_stats(
-        rng, groups, std::max<std::int64_t>(layer.dims.K * block, 2),
-        spec.act_profile);
-    const auto group_low =
-        classify(act_stats, std::max<std::int64_t>(layer.dims.K * block, 2),
-                 config, /*operand_is_dynamic=*/true);
-    mix.row_is_low.resize(static_cast<std::size_t>(layer.dims.M));
-    for (std::int64_t r = 0; r < layer.dims.M; ++r) {
-      mix.row_is_low[static_cast<std::size_t>(r)] =
-          group_low[static_cast<std::size_t>(r / block)];
-    }
-
-    // Weight channels (or the second activation operand in attention).
-    const auto& w_profile = second_operand_is_activation
-                                ? spec.act_profile
-                                : spec.weight_profile;
-    const bool weights_dynamic =
-        config.algo == MixAlgorithm::kDrift &&
-        (config.dynamic_weights || second_operand_is_activation);
-    const auto w_stats = sample_subtensor_stats(
-        rng, layer.dims.N, std::max<std::int64_t>(layer.dims.K, 2),
-        w_profile);
-    const auto col_is_low =
-        classify(w_stats, std::max<std::int64_t>(layer.dims.K, 2), config,
-                 weights_dynamic);
-
-    core::LayerWork work;
-    work.k = layer.dims.K;
-    work.pa_high = config.drift.hp.bits();
-    work.pa_low = config.drift.lp.bits();
-    work.pw_high = config.drift.hp.bits();
-    work.pw_low = config.drift.lp.bits();
-    for (bool is_low : mix.row_is_low) {
-      (is_low ? work.m_low : work.m_high) += 1;
-    }
-    for (bool is_low : col_is_low) {
-      (is_low ? work.n_low : work.n_high) += 1;
-    }
-    mix.work = work;
-    mix.act_low_fraction =
-        static_cast<double>(work.m_low) /
-        static_cast<double>(std::max<std::int64_t>(layer.dims.M, 1));
-    mix.weight_low_fraction =
-        static_cast<double>(work.n_low) /
-        static_cast<double>(std::max<std::int64_t>(layer.dims.N, 1));
-    mixes.push_back(std::move(mix));
+    auto rows = build_act_pattern(layer, rng, spec.act_profile, config);
+    const auto cols = build_weight_pattern(layer, rng, spec, config);
+    mixes.push_back(assemble_mix(layer, std::move(rows), cols, config));
   }
   return mixes;
 }

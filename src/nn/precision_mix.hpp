@@ -19,6 +19,7 @@
 #include "core/drq_quantizer.hpp"
 #include "core/layer_work.hpp"
 #include "core/selector.hpp"
+#include "nn/synthetic.hpp"
 #include "nn/workload.hpp"
 #include "util/rng.hpp"
 
@@ -54,6 +55,34 @@ struct LayerMix {
 /// Builds the mix of every layer in a workload.
 std::vector<LayerMix> build_mixes(const WorkloadSpec& spec,
                                   const MixConfig& config);
+
+// Per-operand pattern builders.  build_mixes is composed from these;
+// the serving layer (src/serve/) also calls them directly to give every
+// in-flight request its own activation pattern against the tenant's
+// canonical weight pattern.  Each builder consumes `rng` in a fixed
+// order, so calling build_act_pattern then build_weight_pattern with
+// one per-layer rng reproduces build_mixes exactly.
+
+/// In-order low/high pattern of one layer's activation rows: samples
+/// per-sub-tensor stats from `act_profile` and classifies them with the
+/// configured algorithm.  Convolution GEMM rows stream
+/// region-block-ordered, so decisions apply to blocks of consecutive
+/// rows; token streams decide per row.
+std::vector<bool> build_act_pattern(const LayerGemm& layer, Rng& rng,
+                                    const SubTensorScaleProfile& act_profile,
+                                    const MixConfig& config);
+
+/// Low/high pattern of the weight channels (or of the second activation
+/// operand for attention GEMMs, which is always dynamic).
+std::vector<bool> build_weight_pattern(const LayerGemm& layer, Rng& rng,
+                                       const WorkloadSpec& spec,
+                                       const MixConfig& config);
+
+/// Assembles the LayerWork class split + fractions from the two operand
+/// patterns.
+LayerMix assemble_mix(const LayerGemm& layer, std::vector<bool> row_is_low,
+                      const std::vector<bool>& col_is_low,
+                      const MixConfig& config);
 
 /// MAC-weighted mean activation low fraction across a mix set.
 double overall_act_low_fraction(const std::vector<LayerMix>& mixes);

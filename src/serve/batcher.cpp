@@ -1,0 +1,43 @@
+#include "serve/batcher.hpp"
+
+#include "util/assert.hpp"
+
+namespace drift::serve {
+
+void AdmissionQueue::push(const QueuedRequest& request) {
+  DRIFT_CHECK(queue_.empty() || queue_.back().arrival <= request.arrival,
+              "admission queue requires arrival-ordered pushes");
+  queue_.push_back(request);
+}
+
+std::vector<QueuedRequest> AdmissionQueue::pop_batch(std::int64_t now,
+                                                     std::int64_t max_batch) {
+  DRIFT_CHECK(!queue_.empty(), "pop_batch on an empty queue");
+  DRIFT_CHECK(max_batch >= 1, "batch cap must be at least 1");
+  const int tenant = queue_.front().tenant;
+  std::vector<QueuedRequest> batch;
+  std::deque<QueuedRequest> rest;
+  while (!queue_.empty()) {
+    QueuedRequest r = queue_.front();
+    queue_.pop_front();
+    const bool eligible = r.tenant == tenant && r.arrival <= now &&
+                          static_cast<std::int64_t>(batch.size()) < max_batch;
+    if (eligible) {
+      batch.push_back(r);
+    } else {
+      rest.push_back(r);
+    }
+    if (r.arrival > now ||
+        static_cast<std::int64_t>(batch.size()) == max_batch) {
+      break;
+    }
+  }
+  while (!queue_.empty()) {
+    rest.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  queue_ = std::move(rest);
+  return batch;
+}
+
+}  // namespace drift::serve

@@ -1,0 +1,43 @@
+// Continuous-batching admission queue.  Requests enter in arrival
+// order; when the accelerator frees up, the queue emits the head
+// request plus every already-arrived request of the *same tenant*, up
+// to the batch cap — the head of line is never skipped, so no tenant
+// starves, and batch composition is a pure function of the arrival
+// trace (deterministic for a fixed seed).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace drift::serve {
+
+struct QueuedRequest {
+  std::int64_t id = 0;       ///< global admission index
+  int tenant = 0;
+  std::int64_t local = 0;    ///< per-tenant request index
+  std::int64_t arrival = 0;  ///< arrival cycle
+};
+
+class AdmissionQueue {
+ public:
+  /// Requests must be pushed in non-decreasing arrival order.
+  void push(const QueuedRequest& request);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+  const QueuedRequest& head() const { return queue_.front(); }
+
+  /// Pops the head plus up to `max_batch - 1` further requests of the
+  /// head's tenant that have arrived by `now`, preserving the FIFO
+  /// order of everything left behind.  Scanning stops at the first
+  /// entry with arrival > now (entries are arrival-ordered), so a long
+  /// backlog costs one pass over the eligible prefix.
+  std::vector<QueuedRequest> pop_batch(std::int64_t now,
+                                       std::int64_t max_batch);
+
+ private:
+  std::deque<QueuedRequest> queue_;
+};
+
+}  // namespace drift::serve

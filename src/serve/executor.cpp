@@ -1,0 +1,147 @@
+#include "serve/executor.hpp"
+
+#include <utility>
+
+#include "accel/bitfusion.hpp"
+#include "accel/drq_accel.hpp"
+#include "util/assert.hpp"
+
+namespace drift::serve {
+
+BatchExecutor::BatchExecutor(ExecConfig config, std::vector<TenantSpec> tenants,
+                             util::ThreadPool& pool)
+    : config_(std::move(config)), tenants_(std::move(tenants)) {
+  DRIFT_CHECK(!tenants_.empty(), "executor needs at least one tenant");
+  switch (config_.algo) {
+    case nn::MixAlgorithm::kStaticInt8:
+      model_ = std::make_unique<accel::BitFusionModel>(config_.hw);
+      break;
+    case nn::MixAlgorithm::kDrq:
+      model_ = std::make_unique<accel::DrqAccelModel>(config_.hw);
+      break;
+    case nn::MixAlgorithm::kDrift:
+      model_ = std::make_unique<accel::DriftAccelModel>(config_.hw,
+                                                        config_.drift_policy);
+      break;
+  }
+
+  states_.resize(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const TenantSpec& tenant = tenants_[t];
+    TenantState& st = states_[t];
+    st.spec = prefix_layers(tenant.workload, tenant.name);
+    const nn::MixConfig cfg = mix_config(tenant);
+
+    // Canonical mix, decomposed through the same per-operand builders
+    // build_mixes uses (same per-layer fork streams, activation first)
+    // so the column patterns can be retained for batch packing.
+    const std::size_t num_layers = st.spec.layers.size();
+    st.canonical.resize(num_layers);
+    st.col_patterns.resize(num_layers);
+    const Rng base(tenant.seed);
+    for (std::size_t li = 0; li < num_layers; ++li) {
+      const nn::LayerGemm& layer = st.spec.layers[li];
+      Rng rng = base.fork(li);
+      auto rows = nn::build_act_pattern(layer, rng, st.spec.act_profile, cfg);
+      st.col_patterns[li] = nn::build_weight_pattern(layer, rng, st.spec, cfg);
+      st.canonical[li] =
+          nn::assemble_mix(layer, std::move(rows), st.col_patterns[li], cfg);
+    }
+
+    if (!tenant.unique_mix_per_request) continue;
+
+    // Per-request activation patterns: request r samples its own
+    // activation stream from fork(kRequestStreamBase + r), one child
+    // stream per layer.  Slots are disjoint and seed-derived, so the
+    // parallel precompute is bit-identical at any pool size.
+    st.per_request.resize(static_cast<std::size_t>(tenant.num_requests));
+    pool.parallel_for(
+        0, tenant.num_requests, 1, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t r = lo; r < hi; ++r) {
+            const Rng req_base = base.fork(kRequestStreamBase +
+                                           static_cast<std::uint64_t>(r));
+            auto& mixes = st.per_request[static_cast<std::size_t>(r)];
+            mixes.resize(num_layers);
+            for (std::size_t li = 0; li < num_layers; ++li) {
+              const nn::LayerGemm& layer = st.spec.layers[li];
+              Rng rng = req_base.fork(li);
+              auto rows =
+                  nn::build_act_pattern(layer, rng, st.spec.act_profile, cfg);
+              mixes[li] = nn::assemble_mix(layer, std::move(rows),
+                                           st.col_patterns[li], cfg);
+            }
+          }
+        });
+  }
+}
+
+nn::MixConfig BatchExecutor::mix_config(const TenantSpec& tenant) const {
+  nn::MixConfig cfg;
+  cfg.algo = config_.algo;
+  cfg.drift = config_.drift_selector;
+  cfg.drq = config_.drq_config;
+  cfg.dynamic_weights = config_.drift_dynamic_weights;
+  cfg.auto_threshold = config_.auto_threshold;
+  cfg.noise_budget = config_.noise_budget;
+  cfg.seed = tenant.seed;
+  return cfg;
+}
+
+const BatchExecutor::TenantState& BatchExecutor::state(int tenant) const {
+  DRIFT_CHECK_INDEX(tenant, static_cast<int>(states_.size()));
+  return states_[static_cast<std::size_t>(tenant)];
+}
+
+const nn::WorkloadSpec& BatchExecutor::tenant_spec(int tenant) const {
+  return state(tenant).spec;
+}
+
+const std::vector<nn::LayerMix>& BatchExecutor::request_mixes(
+    int tenant, std::int64_t local) const {
+  const TenantState& st = state(tenant);
+  if (st.per_request.empty()) return st.canonical;
+  DRIFT_CHECK_INDEX(local, static_cast<std::int64_t>(st.per_request.size()));
+  return st.per_request[static_cast<std::size_t>(local)];
+}
+
+BatchResult BatchExecutor::execute(int tenant,
+                                   const std::vector<std::int64_t>& locals) {
+  DRIFT_CHECK(!locals.empty(), "cannot execute an empty batch");
+  const TenantState& st = state(tenant);
+  const TenantSpec& spec = tenants_[static_cast<std::size_t>(tenant)];
+  const nn::MixConfig cfg = mix_config(spec);
+
+  // Pack: per layer, concatenate the member requests' row patterns in
+  // admission order and grow M accordingly; the weight side (shared
+  // across the tenant's requests) keeps the canonical column pattern.
+  nn::WorkloadSpec batched = st.spec;
+  std::vector<nn::LayerMix> mixes(batched.layers.size());
+  for (std::size_t li = 0; li < batched.layers.size(); ++li) {
+    std::vector<bool> rows;
+    for (std::int64_t local : locals) {
+      const auto& request = request_mixes(tenant, local)[li];
+      rows.insert(rows.end(), request.row_is_low.begin(),
+                  request.row_is_low.end());
+    }
+    batched.layers[li].dims.M = static_cast<std::int64_t>(rows.size());
+    mixes[li] = nn::assemble_mix(batched.layers[li], std::move(rows),
+                                 st.col_patterns[li], cfg);
+  }
+
+  BatchResult result;
+  result.run = model_->run(batched, mixes);
+  result.cycles = result.run.cycles;
+  result.energy_pj = result.run.energy.total_pj();
+  return result;
+}
+
+BatchResult BatchExecutor::execute_canonical(int tenant) {
+  const TenantState& st = state(tenant);
+  BatchResult result;
+  result.run = model_->run(st.spec, st.canonical);
+  result.cycles = result.run.cycles;
+  result.energy_pj = result.run.energy.total_pj();
+  return result;
+}
+
+}  // namespace drift::serve

@@ -97,6 +97,25 @@ TEST(ReportGolden, SummarizeJsonMatchesGolden) {
   check_golden("summary_a.json", out);
 }
 
+// run_serve.json is a fixed-seed serving artifact (the tests/serve
+// golden scrape) with a serving_sweep array attached, so these goldens
+// cover both the per-request SLO section and the sweep table.
+TEST(ReportGolden, SummarizeServingTextMatchesGolden) {
+  std::string out, err;
+  ASSERT_EQ(run({"summarize", fixture("run_serve.json")}, out, err), 0)
+      << err;
+  check_golden("summary_serve.txt", out);
+}
+
+TEST(ReportGolden, SummarizeServingJsonMatchesGolden) {
+  std::string out, err;
+  ASSERT_EQ(run({"summarize", fixture("run_serve.json"), "--json"}, out,
+                err),
+            0)
+      << err;
+  check_golden("summary_serve.json", out);
+}
+
 // ---------------------------------------------------------------------------
 // diff exit codes.
 

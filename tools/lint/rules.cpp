@@ -22,13 +22,14 @@ bool starts_with(const std::string& s, const char* prefix) {
 }
 
 /// CLI front-ends whose whole job is writing to stdout/stderr: the
-/// report and lint tools plus the driftsim driver.  These are allowed
-/// stdio sinks for the `logging` rule so they don't need a suppression
-/// on every print statement; library code under tools/ (anything else)
-/// still routes through util/logging.hpp.
+/// report, lint and serving tools plus the driftsim driver.  These are
+/// allowed stdio sinks for the `logging` rule so they don't need a
+/// suppression on every print statement; library code under tools/
+/// (anything else) still routes through util/logging.hpp.
 bool is_reporting_sink(const std::string& rel) {
   return starts_with(rel, "tools/lint/") ||
-         starts_with(rel, "tools/report/") || rel == "tools/driftsim.cpp";
+         starts_with(rel, "tools/report/") ||
+         starts_with(rel, "tools/serve/") || rel == "tools/driftsim.cpp";
 }
 
 bool is_ident(char c) {

@@ -193,6 +193,67 @@ JsonValue histogram_summaries(const JsonValue& metrics) {
   return JsonValue(std::move(out));
 }
 
+/// Pulls {p50, p99, p99.9, max} out of one obs histogram object.
+JsonValue latency_quantiles(const JsonValue& hist) {
+  JsonObject out;
+  const JsonValue* q = hist.get("quantiles");
+  out["p50"] = JsonValue(q != nullptr ? num_or(q->get("p50"), 0.0) : 0.0);
+  out["p99"] = JsonValue(q != nullptr ? num_or(q->get("p99"), 0.0) : 0.0);
+  out["p99.9"] =
+      JsonValue(q != nullptr ? num_or(q->get("p99.9"), 0.0) : 0.0);
+  out["max"] = JsonValue(int_or(hist.get("max"), 0));
+  return JsonValue(std::move(out));
+}
+
+/// Per-request serving section: SLO quantiles, batching efficiency and
+/// energy per request, scraped from the serve.* metrics the simulator
+/// records (src/serve/simulator.cpp).  Null when the artifact holds no
+/// serving run.
+JsonValue serving_summary(const JsonValue& metrics) {
+  const std::int64_t requests = counter(metrics, "serve.requests");
+  if (requests == 0) return JsonValue();
+  const std::int64_t batches = counter(metrics, "serve.batches");
+  JsonObject out;
+  out["requests"] = JsonValue(requests);
+  out["arrivals"] = JsonValue(counter(metrics, "serve.arrivals"));
+  out["batches"] = JsonValue(batches);
+  out["mean_batch_size"] = JsonValue(
+      batches > 0
+          ? static_cast<double>(requests) / static_cast<double>(batches)
+          : 0.0);
+  out["utilization"] =
+      JsonValue(num_or(metrics.get_path({"gauges", "serve.utilization"}), 0.0));
+  out["energy_per_request_pj"] =
+      JsonValue(static_cast<double>(counter(metrics, "serve.energy_pj")) /
+                static_cast<double>(requests));
+
+  const JsonValue* hists = metrics.get("histograms");
+  if (hists != nullptr && hists->is_object()) {
+    static constexpr const char* kSloHists[][2] = {
+        {"serve.latency_cycles", "latency_cycles"},
+        {"serve.wait_cycles", "wait_cycles"},
+        {"serve.service_cycles", "service_cycles"}};
+    for (const auto& [metric, key] : kSloHists) {
+      if (const JsonValue* h = hists->get(metric); h != nullptr) {
+        out[key] = latency_quantiles(*h);
+      }
+    }
+    // Per-tenant latency histograms: serve.latency_cycles.<tenant>.
+    const std::string prefix = "serve.latency_cycles.";
+    JsonArray tenants;
+    for (const auto& [name, h] : hists->as_object()) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      JsonObject row;
+      row["tenant"] = JsonValue(name.substr(prefix.size()));
+      row["requests"] = JsonValue(int_or(h.get("total"), 0));
+      row["latency_cycles"] = latency_quantiles(h);
+      tenants.push_back(JsonValue(std::move(row)));
+    }
+    if (!tenants.empty()) out["per_tenant"] = JsonValue(std::move(tenants));
+  }
+  return JsonValue(std::move(out));
+}
+
 JsonValue trace_summary(const JsonValue& trace) {
   const JsonValue* events = trace.get("traceEvents");
   if (events == nullptr || !events->is_array()) return JsonValue();
@@ -425,6 +486,13 @@ JsonValue summarize(const JsonValue& metrics, const JsonValue* trace,
   if (JsonValue h = histogram_summaries(metrics); !h.is_null()) {
     report["histograms"] = std::move(h);
   }
+  if (JsonValue s = serving_summary(metrics); !s.is_null()) {
+    report["serving"] = std::move(s);
+  }
+  if (const JsonValue* sweep = metrics.get("serving_sweep");
+      sweep != nullptr && sweep->is_array() && !sweep->as_array().empty()) {
+    report["serving_sweep"] = *sweep;
+  }
   if (trace != nullptr) {
     if (JsonValue t = trace_summary(*trace); !t.is_null()) {
       report["trace"] = std::move(t);
@@ -536,6 +604,74 @@ std::string summary_text(const JsonValue& report) {
       out += line;
     }
   }
+  if (const JsonValue* serving = report.get("serving");
+      serving != nullptr && serving->is_object()) {
+    out += "\n-- serving (per-request SLO) --\n";
+    char line[200];
+    std::snprintf(line, sizeof line,
+                  "  %lld requests in %lld batches (mean batch %.2f), "
+                  "utilization %.1f%%\n",
+                  static_cast<long long>(int_or(serving->get("requests"), 0)),
+                  static_cast<long long>(int_or(serving->get("batches"), 0)),
+                  num_or(serving->get("mean_batch_size"), 0.0),
+                  100.0 * num_or(serving->get("utilization"), 0.0));
+    out += line;
+    std::snprintf(line, sizeof line, "  energy/request = %.1f pJ\n",
+                  num_or(serving->get("energy_per_request_pj"), 0.0));
+    out += line;
+    static constexpr const char* kSloRows[][2] = {
+        {"latency_cycles", "latency"},
+        {"wait_cycles", "wait"},
+        {"service_cycles", "service"}};
+    for (const auto& [key, label] : kSloRows) {
+      const JsonValue* q = serving->get(key);
+      if (q == nullptr || !q->is_object()) continue;
+      std::snprintf(line, sizeof line,
+                    "  %-7s cycles p50/p99/p99.9/max = %.1f / %.1f / %.1f "
+                    "/ %lld\n",
+                    label, num_or(q->get("p50"), 0.0),
+                    num_or(q->get("p99"), 0.0), num_or(q->get("p99.9"), 0.0),
+                    static_cast<long long>(int_or(q->get("max"), 0)));
+      out += line;
+    }
+    if (const JsonValue* tenants = serving->get("per_tenant");
+        tenants != nullptr && tenants->is_array()) {
+      out += "  tenant                 n      p50      p99    p99.9      max\n";
+      for (const JsonValue& row : tenants->as_array()) {
+        const JsonValue* q = row.get("latency_cycles");
+        std::snprintf(
+            line, sizeof line, "  %-18s %5lld %8.1f %8.1f %8.1f %8lld\n",
+            row.get("tenant")->as_string().c_str(),
+            static_cast<long long>(int_or(row.get("requests"), 0)),
+            q != nullptr ? num_or(q->get("p50"), 0.0) : 0.0,
+            q != nullptr ? num_or(q->get("p99"), 0.0) : 0.0,
+            q != nullptr ? num_or(q->get("p99.9"), 0.0) : 0.0,
+            q != nullptr ? static_cast<long long>(int_or(q->get("max"), 0))
+                         : 0);
+        out += line;
+      }
+    }
+  }
+  if (const JsonValue* sweep = report.get("serving_sweep");
+      sweep != nullptr && sweep->is_array() && !sweep->as_array().empty()) {
+    out += "\n-- serving sweep (load vs tail latency) --\n";
+    out += "  design     load   p50_us   p99_us  p99.9_us  energy/req_uJ"
+           "   util\n";
+    for (const JsonValue& row : sweep->as_array()) {
+      const JsonValue* design = row.get("design");
+      char line[200];
+      std::snprintf(line, sizeof line,
+                    "  %-8s %6.2f %8.2f %8.2f %9.2f %14.4f %6.2f\n",
+                    design != nullptr ? design->as_string().c_str() : "?",
+                    num_or(row.get("load"), 0.0),
+                    num_or(row.get("p50_us"), 0.0),
+                    num_or(row.get("p99_us"), 0.0),
+                    num_or(row.get("p999_us"), 0.0),
+                    num_or(row.get("energy_per_request_uj"), 0.0),
+                    num_or(row.get("utilization"), 0.0));
+      out += line;
+    }
+  }
   if (const JsonValue* trace = report.get("trace");
       trace != nullptr && trace->is_object()) {
     out += "\n-- trace --\n";
@@ -555,7 +691,8 @@ std::string summary_text(const JsonValue& report) {
     }
   }
   if (report.get("totals") == nullptr && report.get("coverage") == nullptr &&
-      report.get("histograms") == nullptr) {
+      report.get("histograms") == nullptr &&
+      report.get("serving_sweep") == nullptr) {
     out += "(no run data in artifact — empty scrape, e.g. a "
            "DRIFT_OBS_OFF build)\n";
   }

@@ -1,0 +1,210 @@
+// drift_serve — multi-tenant serving simulator driver.
+//
+// Generates open-loop traffic (Poisson / bursty / diurnal), runs it
+// through the continuous-batching event loop over one accelerator, and
+// prints the SLO report: per-tenant and overall p50/p99/p99.9 latency,
+// queueing delay, utilization and energy per request.
+//
+//   drift_serve --workloads=tiny-bert,tiny-cnn --arrival=bursty --load=0.7
+//   drift_serve --workloads=tiny-bert --algo=drq --requests=1000
+//   drift_serve --workloads=tiny-bert --json=serve.json --trace=serve.trace
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/simulator.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace drift;
+
+namespace {
+
+constexpr const char* kUsage = R"(drift_serve — Drift serving simulator
+
+flags:
+  --workloads=A,B   comma list of tenant workloads: tiny-bert|tiny-cnn|
+                    any paper model name  (default: tiny-bert,tiny-cnn)
+  --algo=NAME       drift|int8|drq  (default: drift)
+  --arrival=NAME    poisson|bursty|diurnal  (default: poisson)
+  --load=F          target utilization; interarrival gaps are calibrated
+                    from each tenant's canonical service time (default 0.6)
+  --interarrival=F  mean interarrival gap in cycles (overrides --load)
+  --requests=N      requests per tenant (default 256)
+  --max-batch=N     continuous-batching cap (default 8)
+  --rows=N --cols=N BitGroup grid geometry (default 24x33)
+  --seed=N          base seed; tenant i uses seed N+i (default 1)
+  --shared-mix      all requests reuse the tenant's canonical mix
+  --threads=N       worker threads for the mix precompute (default: auto)
+  --json=PATH       write the serving metrics artifact (serve.* scrape)
+  --trace=PATH      write a Chrome trace with one track per request
+  --help            this text
+)";
+
+nn::MixAlgorithm pick_algo(const std::string& name) {
+  if (name == "int8") return nn::MixAlgorithm::kStaticInt8;
+  if (name == "drq") return nn::MixAlgorithm::kDrq;
+  if (name != "drift") {
+    std::fprintf(stderr, "unknown --algo '%s', using drift\n", name.c_str());
+  }
+  return nn::MixAlgorithm::kDrift;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    const std::size_t comma = s.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > begin) out.push_back(s.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+std::string us(std::int64_t cycles, double clock_hz) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f",
+                1e6 * static_cast<double>(cycles) / clock_hz);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Args::parse(argc, argv);
+  if (args.get_bool("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+
+  serve::ServeConfig config;
+  config.exec.algo = pick_algo(args.get_string("algo", "drift"));
+  config.exec.hw.array.rows = args.get_int("rows", 24);
+  config.exec.hw.array.cols = args.get_int("cols", 33);
+  config.max_batch = args.get_int("max-batch", 8);
+
+  const auto names =
+      split_csv(args.get_string("workloads", "tiny-bert,tiny-cnn"));
+  if (names.empty()) {
+    std::fprintf(stderr, "no workloads given\n");
+    return 2;
+  }
+  const auto kind =
+      serve::arrival_kind_from_string(args.get_string("arrival", "poisson"));
+  const std::int64_t requests = args.get_int("requests", 256);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const bool shared_mix = args.get_bool("shared-mix");
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    serve::TenantSpec tenant;
+    tenant.name = names[i] + "#" + std::to_string(i);
+    tenant.workload = serve::serving_workload(names[i]);
+    tenant.arrival.kind = kind;
+    tenant.num_requests = requests;
+    tenant.seed = seed + i;
+    tenant.unique_mix_per_request = !shared_mix;
+    config.tenants.push_back(tenant);
+  }
+
+  util::ThreadPool& pool = util::ThreadPool::instance();
+  if (args.has("threads")) pool.resize(args.get_int("threads", 0));
+
+  // Arrival calibration: an explicit gap applies to every tenant;
+  // otherwise --load splits the target utilization evenly across
+  // tenants using each one's canonical service time.
+  const double load = args.get_double("load", 0.6);
+  const bool explicit_gap = args.has("interarrival");
+  const double gap = args.get_double("interarrival", 0.0);
+  {
+    serve::ServeConfig probe_cfg = config;
+    for (auto& tenant : probe_cfg.tenants) {
+      tenant.num_requests = 1;
+      tenant.unique_mix_per_request = false;
+    }
+    serve::Simulator probe(probe_cfg, pool);
+    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+      const double service = static_cast<double>(
+          probe.executor().execute_canonical(static_cast<int>(i)).cycles);
+      config.tenants[i].arrival.mean_interarrival_cycles =
+          explicit_gap
+              ? gap
+              : service * static_cast<double>(config.tenants.size()) / load;
+      if (kind == serve::ArrivalKind::kDiurnal) {
+        config.tenants[i].arrival.diurnal_period_cycles =
+            256.0 * config.tenants[i].arrival.mean_interarrival_cycles;
+      }
+    }
+  }
+
+  const auto json_path = args.get("json");
+  const auto trace_path = args.get("trace");
+  for (const std::string& flag : args.unqueried()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
+  }
+
+  obs::Registry::global().reset();
+  obs::Tracer::global().reset();
+  obs::Tracer::global().set_enabled(trace_path.has_value());
+
+  serve::Simulator sim(config, pool);
+  const serve::ServeResult result = sim.run();
+  obs::Tracer::global().set_enabled(false);
+
+  const double clock_hz = config.exec.hw.energy.clock_hz;
+  std::printf("%s serving, %zu tenant(s), arrival %s, max batch %lld, "
+              "array %lldx%lld\n",
+              nn::to_string(config.exec.algo).c_str(),
+              config.tenants.size(), serve::to_string(kind).c_str(),
+              static_cast<long long>(config.max_batch),
+              static_cast<long long>(config.exec.hw.array.rows),
+              static_cast<long long>(config.exec.hw.array.cols));
+  std::printf("%lld requests in %lld batches, makespan %.2f ms, "
+              "utilization %.1f%%\n\n",
+              static_cast<long long>(result.overall.count),
+              static_cast<long long>(result.batches),
+              1e3 * static_cast<double>(result.makespan_cycles) / clock_hz,
+              100.0 * result.utilization());
+
+  TextTable t({"tenant", "n", "p50_us", "p99_us", "p99.9_us", "wait_us",
+               "energy/req_uJ"});
+  const auto add = [&](const std::string& name, const serve::SloSummary& s) {
+    char wait[32], energy[32];
+    std::snprintf(wait, sizeof(wait), "%.2f",
+                  1e6 * s.mean_wait_cycles / clock_hz);
+    std::snprintf(energy, sizeof(energy), "%.3f",
+                  s.energy_per_request_pj / 1e6);
+    t.add_row({name, std::to_string(s.count), us(s.p50_cycles, clock_hz),
+               us(s.p99_cycles, clock_hz), us(s.p999_cycles, clock_hz),
+               wait, energy});
+  };
+  for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+    add(config.tenants[i].name, result.per_tenant[i]);
+  }
+  add("overall", result.overall);
+  std::printf("%s", t.to_string().c_str());
+
+  if (json_path) {
+    const std::string artifact =
+        obs::Registry::global().to_json({"serve."});
+    if (!obs::write_file(*json_path, artifact)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("\nserving metrics artifact written to %s\n",
+                json_path->c_str());
+  }
+  if (trace_path) {
+    if (!obs::Tracer::global().write_chrome_trace(*trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path->c_str());
+      return 1;
+    }
+    std::printf("Chrome trace written to %s (one track per request)\n",
+                trace_path->c_str());
+  }
+  return 0;
+}
