@@ -37,8 +37,6 @@ struct TimelineEntry {
   std::int64_t dram_end = 0;
   std::int64_t compute_start = 0;
   std::int64_t compute_end = 0;
-
-  std::int64_t compute_stall() const { return compute_start - dram_end; }
 };
 
 /// The built timeline.

@@ -24,27 +24,6 @@ LayerWork make_layer_work(const PrecisionMap& act_map,
   return work;
 }
 
-LayerWork make_layer_work_static_weights(const PrecisionMap& act_map,
-                                         std::int64_t n, std::int64_t k,
-                                         double weight_low_fraction) {
-  DRIFT_CHECK(n > 0 && k > 0, "invalid GEMM dimensions");
-  DRIFT_CHECK(weight_low_fraction >= 0.0 && weight_low_fraction <= 1.0,
-              "fraction out of range");
-  LayerWork work;
-  work.k = k;
-  work.pa_high = act_map.config().hp.bits();
-  work.pa_low = act_map.config().lp.bits();
-  work.pw_high = act_map.config().hp.bits();
-  work.pw_low = act_map.config().lp.bits();
-  for (std::size_t i = 0; i < act_map.num_subtensors(); ++i) {
-    (act_map.decision(i).use_low ? work.m_low : work.m_high) += 1;
-  }
-  work.n_low = static_cast<std::int64_t>(
-      std::llround(weight_low_fraction * static_cast<double>(n)));
-  work.n_high = n - work.n_low;
-  return work;
-}
-
 double ll_mac_fraction(const LayerWork& work) {
   const std::int64_t total = work.total_macs();
   if (total == 0) return 0.0;

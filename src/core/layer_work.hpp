@@ -21,13 +21,6 @@ namespace drift::core {
 LayerWork make_layer_work(const PrecisionMap& act_map,
                           const PrecisionMap& weight_map, std::int64_t k);
 
-/// Workload where only activations are dynamic and all weights stay at
-/// the map's high precision (the paper's main configuration quantizes
-/// weights statically per channel; pass the weight low fraction = 0).
-LayerWork make_layer_work_static_weights(const PrecisionMap& act_map,
-                                         std::int64_t n, std::int64_t k,
-                                         double weight_low_fraction = 0.0);
-
 /// Fraction of MACs at (4-bit x 4-bit), the most aggressive class.
 double ll_mac_fraction(const LayerWork& work);
 

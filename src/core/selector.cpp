@@ -146,11 +146,6 @@ const PrecisionDecision& PrecisionMap::decision(std::size_t i) const {
   return decisions_[i];
 }
 
-std::int64_t PrecisionMap::subtensor_size(std::size_t i) const {
-  DRIFT_CHECK_INDEX(i, sizes_.size());
-  return sizes_[i];
-}
-
 double PrecisionMap::low_fraction_by_count() const {
   if (decisions_.empty()) return 0.0;
   return static_cast<double>(low_count_) /

@@ -78,7 +78,6 @@ class PrecisionMap {
 
   std::size_t num_subtensors() const { return decisions_.size(); }
   const PrecisionDecision& decision(std::size_t i) const;
-  std::int64_t subtensor_size(std::size_t i) const;
   const SelectorConfig& config() const { return config_; }
 
   /// Fraction of sub-tensors that selected the low precision.

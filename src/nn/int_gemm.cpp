@@ -20,12 +20,6 @@ double QuantizedOperand::row_scale(std::int64_t r) const {
          static_cast<double>(std::int64_t{1} << d.choice.lc);
 }
 
-int QuantizedOperand::row_bits(std::int64_t r) const {
-  DRIFT_CHECK_INDEX(r, static_cast<std::int64_t>(rows.size()));
-  return rows[static_cast<std::size_t>(r)].use_low ? lp.bits()
-                                                   : params.bits.bits();
-}
-
 QuantizedOperand quantize_rows(const TensorF& x,
                                const core::SelectorConfig& config,
                                double noise_budget) {

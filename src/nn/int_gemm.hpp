@@ -33,9 +33,6 @@ struct QuantizedOperand {
 
   /// The dequantization step of row r (Δ or 2^lc Δ).
   double row_scale(std::int64_t r) const;
-
-  /// Number of live magnitude bits of row r (hp or lp).
-  int row_bits(std::int64_t r) const;
 };
 
 /// Quantizes a [rows, cols] float matrix at row granularity with the

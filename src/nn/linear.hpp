@@ -23,7 +23,6 @@ class Linear : public Layer {
   std::int64_t in_features() const { return weight_.shape().dim(1); }
   std::int64_t out_features() const { return weight_.shape().dim(0); }
   const TensorF& weight() const { return weight_; }
-  TensorF& mutable_weight() { return weight_; }
   const TensorF& bias() const { return bias_; }
 
  private:

@@ -80,6 +80,8 @@ CpuFeatures detect_cpu_features() {
 }
 
 const KernelTable& active() {
+  // drift-lint: allow(atomic-order) — the force-scalar flag guards no
+  // other memory; every kernel table is immutable after static init.
   if (force_scalar_flag().load(std::memory_order_relaxed)) {
     return kScalarTable;
   }
@@ -103,10 +105,14 @@ Backend active_backend() {
 }
 
 void set_force_scalar(bool force) {
+  // drift-lint: allow(atomic-order) — independent flag; the dispatch
+  // tables it selects between are immutable after static init.
   force_scalar_flag().store(force, std::memory_order_relaxed);
 }
 
 bool force_scalar() {
+  // drift-lint: allow(atomic-order) — same independent-flag argument
+  // as the load in active(): no release/acquire pairing is needed.
   return force_scalar_flag().load(std::memory_order_relaxed);
 }
 

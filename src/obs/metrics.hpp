@@ -223,6 +223,8 @@ void register_run_metadata_provider(MetadataProvider provider);
 
 /// Explicit per-run override/extension (e.g. a workload name); wins
 /// over built-ins and providers.
+// drift-lint: allow(dead-api) — the override hook of the run-metadata
+// API; drivers stamp workload names through it from outside src/obs/.
 void set_run_metadata(const std::string& key, std::string value);
 
 /// The merged metadata map: built-ins (git_sha from the build-time

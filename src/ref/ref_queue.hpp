@@ -35,6 +35,8 @@ double md1_mean_wait(double arrival_rate, double service_cycles);
 /// Wq = lambda*E[S^2] / (2(1-rho)).  `service_second_moment` is E[S^2];
 /// with E[S^2] = D^2 this reduces to the M/D/1 form above.  Returns a
 /// negative value when rho = lambda*E[S] >= 1.
+// drift-lint: allow(dead-api) — Pollaczek–Khinchine closed form kept
+// beside md1_mean_wait as the oracle for stochastic service times.
 double mg1_mean_wait(double arrival_rate, double service_mean,
                      double service_second_moment);
 

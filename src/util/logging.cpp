@@ -20,9 +20,13 @@ const char* level_name(Level level) {
 
 }  // namespace
 
+// drift-lint: allow(atomic-order) — the threshold is an independent
+// flag; no other memory is published through it, so relaxed is sound.
 Level threshold() { return g_threshold.load(std::memory_order_relaxed); }
 
 void set_threshold(Level level) {
+  // drift-lint: allow(atomic-order) — same independent-flag argument
+  // as threshold(): no ordering with any other location is required.
   g_threshold.store(level, std::memory_order_relaxed);
 }
 

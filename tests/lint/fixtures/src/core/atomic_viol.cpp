@@ -1,0 +1,11 @@
+// Fixture: `atomic-order` rule — memory_order_relaxed outside the
+// src/obs/ metric shards needs a justified allow.
+#include <atomic>
+
+namespace drift::core {
+
+int fixture_relaxed_read(const std::atomic<int>& v) {
+  return v.load(std::memory_order_relaxed);
+}
+
+}  // namespace drift::core

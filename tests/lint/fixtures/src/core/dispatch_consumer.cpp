@@ -4,4 +4,4 @@
 // boundary with a proper justification sentence.
 #include "nn/simd/fixture_kernels.hpp"
 
-int fixture_dispatch_consumer() { return 0; }
+int fixture_dispatch_consumer() { return fixture_simd_home(); }

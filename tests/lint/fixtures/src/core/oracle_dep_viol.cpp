@@ -1,0 +1,5 @@
+// Fixture: `layer` rule — production modules must never depend on the
+// src/ref/ oracles; the oracles pin the code, not the other way round.
+#include "ref/fixture_ok.hpp"
+
+int fixture_oracle_dep() { return 0; }

@@ -1,0 +1,25 @@
+// Fixture: `race` rule — a parallel lambda writing a by-reference
+// capture races across workers.  fixture_slot_writes is the clean
+// disjoint-slot form: every worker writes its own subscripted slot.
+#include <vector>
+
+namespace drift::core {
+
+template <typename Body>
+void parallel_for(int begin, int end, Body&& body);
+
+long fixture_shared_sum(int n) {
+  long total = 0;
+  parallel_for(0, n, [&](int i) {
+    total += i;
+  });
+  return total;
+}
+
+void fixture_slot_writes(std::vector<int>& out, int n) {
+  parallel_for(0, n, [&](int i) {
+    out[i] = i * 2;
+  });
+}
+
+}  // namespace drift::core

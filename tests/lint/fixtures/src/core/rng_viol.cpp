@@ -1,0 +1,13 @@
+// Fixture: `rng-stream` rule — raw std engines and distributions
+// outside util/rng.hpp bypass the seeded, forkable stream discipline.
+#include <random>
+
+namespace drift::core {
+
+double fixture_raw_draw() {
+  std::mt19937 gen(42);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}
+
+}  // namespace drift::core

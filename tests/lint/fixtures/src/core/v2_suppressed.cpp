@@ -1,0 +1,64 @@
+// Fixture: justified suppressions silence every v2 graph/flow rule
+// (layer, unordered, float-accum, rng-stream, race, atomic-order).
+#include <atomic>
+#include <fstream>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+// drift-lint: allow(layer) — fixture exercising a justified upward
+// dependency edge for the layer rule.
+#include "serve/fixture_api.hpp"
+
+namespace drift::core {
+
+template <typename Body>
+void parallel_for(int begin, int end, Body&& body);
+
+void fixture_v2_write(const std::string& line) {
+  std::ofstream out("artifact.json");
+  out << line;
+}
+
+void fixture_v2_emit(const std::unordered_map<std::string, int>& counts) {
+  // drift-lint: allow(unordered) — fixture: the artifact consumer
+  // re-sorts these lines before committing them.
+  for (const auto& [key, value] : counts) {
+    fixture_v2_write(key + std::to_string(value));
+  }
+}
+
+float fixture_v2_sum(const float* x, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    // drift-lint: allow(float-accum) — fixture: bounded 8-element sum,
+    // the error stays below the quantization step by construction.
+    acc += x[i];
+  }
+  return acc;
+}
+
+unsigned fixture_v2_draw() {
+  // drift-lint: allow(rng-stream) — fixture: engine seeded from the
+  // deterministic run seed and confined to this fixture.
+  std::mt19937 gen(7);
+  return gen();
+}
+
+long fixture_v2_race(int n) {
+  long total = 0;
+  parallel_for(0, n, [&](int i) {
+    // drift-lint: allow(race) — fixture: writers are serialized by the
+    // single-worker pool this fixture runs on.
+    total += i;
+  });
+  return total;
+}
+
+int fixture_v2_relaxed(const std::atomic<int>& v) {
+  // drift-lint: allow(atomic-order) — fixture: independent flag with
+  // no ordering requirement against other memory.
+  return v.load(std::memory_order_relaxed);
+}
+
+}  // namespace drift::core

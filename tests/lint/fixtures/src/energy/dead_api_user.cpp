@@ -1,0 +1,7 @@
+// Fixture: the cross-TU consumer that keeps fixture_used_energy out of
+// the `dead-api` report.
+#include "energy/dead_api_viol.hpp"
+
+int fixture_energy_consumer() {
+  return drift::energy::fixture_used_energy(5);
+}

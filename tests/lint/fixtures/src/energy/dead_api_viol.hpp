@@ -1,0 +1,17 @@
+// Fixture: `dead-api` rule — fixture_unused_energy is exported with no
+// cross-TU reference and must be reported; fixture_used_energy is
+// referenced from dead_api_user.cpp; fixture_kept_energy carries a
+// justified allow.
+#pragma once
+
+namespace drift::energy {
+
+int fixture_unused_energy(int joules);
+
+int fixture_used_energy(int joules);
+
+// drift-lint: allow(dead-api) — fixture: kept as the documented
+// extension point of the energy fixture API.
+int fixture_kept_energy(int joules);
+
+}  // namespace drift::energy

@@ -1,0 +1,22 @@
+// Fixture: `float-accum` rule — a float accumulator in a loop outside
+// src/nn/simd/ gains rounding error per iteration.  fixture_stable_sum
+// is the clean form: accumulate in double, round once at the end.
+namespace drift::nn {
+
+float fixture_unstable_sum(const float* x, int n) {
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    acc += x[i];
+  }
+  return acc;
+}
+
+float fixture_stable_sum(const float* x, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += x[i];
+  }
+  return static_cast<float>(total);
+}
+
+}  // namespace drift::nn

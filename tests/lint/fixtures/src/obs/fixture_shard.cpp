@@ -1,0 +1,11 @@
+// Fixture: src/obs/ is the blessed home for relaxed atomics — nothing
+// in this file may be reported by the `atomic-order` rule.
+#include <atomic>
+
+namespace drift::obs {
+
+int fixture_shard_read(const std::atomic<int>& v) {
+  return v.load(std::memory_order_relaxed);
+}
+
+}  // namespace drift::obs

@@ -1,0 +1,10 @@
+// Fixture helper: a serve-layer (top-rank) include target for the
+// `layer` rule fixtures.  fixture_entry is referenced by
+// src/util/layer_viol.cpp, so it is not a dead-api finding.
+#pragma once
+
+namespace drift::serve {
+
+int fixture_entry(int requests);
+
+}  // namespace drift::serve

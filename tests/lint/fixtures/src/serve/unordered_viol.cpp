@@ -1,0 +1,29 @@
+// Fixture: `unordered` rule — hash-order iteration in a function whose
+// call path reaches an artifact writer leaks nondeterminism into the
+// artifact.  fixture_emit_sorted is the clean counterpart: the same
+// writer fed from an ordered container.
+#include <fstream>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace drift::serve {
+
+void fixture_write_artifact(const std::string& line) {
+  std::ofstream out("artifact.json");
+  out << line;
+}
+
+void fixture_emit_counts(const std::unordered_map<std::string, int>& counts) {
+  for (const auto& [key, value] : counts) {
+    fixture_write_artifact(key + std::to_string(value));
+  }
+}
+
+void fixture_emit_sorted(const std::map<std::string, int>& ordered) {
+  for (const auto& [key, value] : ordered) {
+    fixture_write_artifact(key + std::to_string(value));
+  }
+}
+
+}  // namespace drift::serve

@@ -1,0 +1,10 @@
+// Fixture: `layer` rule — util (rank 0) must not depend on serve
+// (rank 5), neither through the include edge nor through a qualified
+// symbol reference.
+#include "serve/fixture_api.hpp"
+
+namespace drift::util {
+
+int fixture_call_up() { return drift::serve::fixture_entry(3); }
+
+}  // namespace drift::util

@@ -7,9 +7,13 @@
 // ordering must update the golden file consciously.
 //
 // Paths are injected by tests/lint/CMakeLists.txt:
-//   DRIFT_LINT_BIN        built drift_lint binary
-//   DRIFT_LINT_FIXTURES   fixture corpus root
-//   DRIFT_LINT_EXPECTED   golden JSON for the full corpus
+//   DRIFT_LINT_BIN             built drift_lint binary
+//   DRIFT_LINT_FIXTURES        fixture corpus root
+//   DRIFT_LINT_EXPECTED        golden JSON for the full corpus
+//   DRIFT_LINT_EXPECTED_SARIF  golden SARIF 2.1.0 for the full corpus
+//   DRIFT_LINT_RATCHET_FIXTURE per-rule budgets equal to the corpus counts
+//   DRIFT_LINT_RATCHET_ZERO    the committed all-zero repo baseline
+//   DRIFT_LINT_REPO_ROOT       the real repository root (self-analysis)
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -54,6 +58,47 @@ TEST(DriftLint, JsonOutputMatchesGoldenFileExactly) {
       run_lint("--root " + fixtures_root() + " --format=json src tools tests");
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_EQ(r.output, read_file(DRIFT_LINT_EXPECTED));
+}
+
+TEST(DriftLint, SarifOutputMatchesGoldenFileExactly) {
+  const RunResult r =
+      run_lint("--root " + fixtures_root() + " --format=sarif src tools tests");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.output, read_file(DRIFT_LINT_EXPECTED_SARIF));
+}
+
+TEST(DriftLint, RatchetWithinBudgetExitsZero) {
+  // The fixture ratchet grants exactly the corpus's per-rule counts, so
+  // the run reports violations but the gate passes.
+  const RunResult r = run_lint("--root " + fixtures_root() +
+                               " --format=json --ratchet " +
+                               DRIFT_LINT_RATCHET_FIXTURE +
+                               " src tools tests 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(DriftLint, RatchetExceededExitsOne) {
+  // The committed repo baseline is all zeros; the fixture corpus blows
+  // through every budget.
+  const RunResult r = run_lint("--root " + fixtures_root() +
+                               " --format=json --ratchet " +
+                               DRIFT_LINT_RATCHET_ZERO +
+                               " src tools tests 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+}
+
+TEST(DriftLint, MissingRatchetFileExitsTwo) {
+  const RunResult r =
+      run_lint("--root " + fixtures_root() +
+               " --ratchet /nonexistent/ratchet.json src 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(DriftLint, SelfAnalysisIsClean) {
+  // The analyzer must hold itself to its own rules.
+  const RunResult r =
+      run_lint(std::string("--root ") + DRIFT_LINT_REPO_ROOT + " tools/lint");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
 TEST(DriftLint, CleanDirectoryExitsZero) {

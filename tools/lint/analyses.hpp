@@ -1,0 +1,32 @@
+// Graph-level analyses for drift_lint v2, built on the whole-program
+// model in graph.hpp.  Registered through add_graph_rules (rules.hpp)
+// so they share suppression handling and output plumbing with the
+// lexer rules.
+//
+// Rule catalog (ids match rules.hpp and DESIGN.md "Static analysis
+// v2"):
+//
+//   layer        module layering DAG over include edges AND qualified
+//                symbol references
+//   unordered    unordered-container iteration on a call path to an
+//                artifact writer
+//   float-accum  float += accumulation in a loop outside src/nn/simd/
+//   rng-stream   raw std engine/distribution construction outside
+//                util/rng.hpp
+//   race         parallel lambda writing a by-reference capture
+//                without atomics or disjoint-slot indexing
+//   atomic-order memory_order_relaxed outside src/obs/
+//   dead-api     exported header symbol with zero cross-TU references
+#pragma once
+
+#include <vector>
+
+#include "rules.hpp"
+
+namespace drift::lint {
+
+// add_graph_rules(std::vector<Rule>&) is declared in rules.hpp; this
+// header exists so tests and the CLI can name the analysis surface
+// explicitly.
+
+}  // namespace drift::lint

@@ -1,28 +1,33 @@
 // drift_lint — project-specific static analysis for the Drift repo.
 //
 // Walks the given directories (default: src tools bench tests), lexes
-// every C++ source file, and enforces the determinism / oracle
-// independence / numeric-safety / logging invariants described in
-// rules.hpp and DESIGN.md "Static analysis".
+// every C++ source file, builds the whole-program model (symbol table,
+// include graph, approximate call graph — see graph.hpp), and enforces
+// the determinism / oracle-independence / numeric-safety / layering
+// invariants described in rules.hpp and DESIGN.md "Static analysis"
+// (+ "Static analysis v2").
 //
 // Usage:
-//   drift_lint [--root DIR] [--format=text|json] [--exclude SUBSTR]...
-//              [dir ...]
+//   drift_lint [--root DIR] [--format=text|json|sarif]
+//              [--ratchet FILE] [--exclude SUBSTR]... [dir ...]
 //
-// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+// Exit codes: 0 clean (or within ratchet budgets), 1 violations found
+// (or some ratchet budget exceeded), 2 usage or I/O error.
 //
 // Output is deterministic (files walked in sorted order, violations
-// sorted by file/line/rule) so `--format=json` can be asserted exactly
-// by tests/lint/.
+// sorted by file/line/rule) so `--format=json` and `--format=sarif`
+// can be asserted exactly by tests/lint/.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "output.hpp"
 #include "rules.hpp"
 
 namespace fs = std::filesystem;
@@ -32,6 +37,7 @@ namespace {
 struct Options {
   fs::path root = ".";
   std::string format = "text";
+  std::string ratchet_path;
   std::vector<std::string> excludes;
   std::vector<std::string> dirs;
 };
@@ -83,57 +89,9 @@ std::vector<std::string> collect_files(const Options& opt) {
   return rels;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-void print_json(const std::vector<drift::lint::Violation>& violations,
-                std::size_t files_scanned) {
-  std::cout << "{\n  \"files_scanned\": " << files_scanned
-            << ",\n  \"violation_count\": " << violations.size()
-            << ",\n  \"violations\": [";
-  for (std::size_t i = 0; i < violations.size(); ++i) {
-    const auto& v = violations[i];
-    std::cout << (i == 0 ? "\n" : ",\n")
-              << "    {\"file\": \"" << json_escape(v.file)
-              << "\", \"line\": " << v.line << ", \"rule\": \""
-              << json_escape(v.rule) << "\", \"message\": \""
-              << json_escape(v.message) << "\"}";
-  }
-  std::cout << (violations.empty() ? "]\n}\n" : "\n  ]\n}\n");
-}
-
-void print_text(const std::vector<drift::lint::Violation>& violations,
-                std::size_t files_scanned) {
-  for (const auto& v : violations) {
-    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
-              << v.message << "\n";
-  }
-  std::cerr << "drift_lint: " << violations.size() << " violation(s) in "
-            << files_scanned << " file(s) scanned\n";
-}
-
 int usage() {
-  std::cerr << "usage: drift_lint [--root DIR] [--format=text|json] "
-               "[--exclude SUBSTR]... [dir ...]\n";
+  std::cerr << "usage: drift_lint [--root DIR] [--format=text|json|sarif] "
+               "[--ratchet FILE] [--exclude SUBSTR]... [dir ...]\n";
   return 2;
 }
 
@@ -148,7 +106,13 @@ int main(int argc, char** argv) {
       opt.root = argv[i];
     } else if (arg.rfind("--format=", 0) == 0) {
       opt.format = arg.substr(9);
-      if (opt.format != "text" && opt.format != "json") return usage();
+      if (opt.format != "text" && opt.format != "json" &&
+          opt.format != "sarif") {
+        return usage();
+      }
+    } else if (arg == "--ratchet") {
+      if (++i >= argc) return usage();
+      opt.ratchet_path = argv[i];
     } else if (arg == "--exclude") {
       if (++i >= argc) return usage();
       opt.excludes.push_back(argv[i]);
@@ -185,9 +149,21 @@ int main(int argc, char** argv) {
 
   const auto violations = drift::lint::run_rules(files);
   if (opt.format == "json") {
-    print_json(violations, files.size());
+    drift::lint::print_json(violations, files.size());
+  } else if (opt.format == "sarif") {
+    drift::lint::print_sarif(violations);
   } else {
-    print_text(violations, files.size());
+    drift::lint::print_text(violations, files.size());
+  }
+
+  if (!opt.ratchet_path.empty()) {
+    std::map<std::string, int> budgets;
+    if (!drift::lint::load_ratchet(opt.ratchet_path, budgets)) {
+      std::cerr << "drift_lint: cannot read ratchet file "
+                << opt.ratchet_path << "\n";
+      return 2;
+    }
+    return drift::lint::apply_ratchet(violations, budgets);
   }
   return violations.empty() ? 0 : 1;
 }

@@ -1,0 +1,90 @@
+#include "graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace drift::lint {
+
+int module_rank(const std::string& module_name) {
+  if (module_name == "util") return 0;
+  if (module_name == "tensor" || module_name == "stats") return 1;
+  if (module_name == "core" || module_name == "nn" || module_name == "dram" ||
+      module_name == "energy" || module_name == "systolic" ||
+      module_name == "simd") {
+    return 2;
+  }
+  if (module_name == "accel") return 3;
+  if (module_name == "obs") return 4;
+  if (module_name == "serve") return 5;
+  return -1;  // ref (isolated) and non-src paths
+}
+
+RepoModel build_model(const std::vector<LexedFile>& files,
+                      const std::unordered_set<std::string>& file_set) {
+  RepoModel model;
+  model.files.reserve(files.size());
+  for (const auto& file : files) {
+    model.file_index[file.rel] = static_cast<int>(model.files.size());
+    model.files.push_back(extract_symbols(file, file_set));
+  }
+
+  // Flatten functions and index them by unqualified name.
+  for (std::size_t f = 0; f < model.files.size(); ++f) {
+    const auto& syms = model.files[f];
+    for (std::size_t l = 0; l < syms.functions.size(); ++l) {
+      const int id = static_cast<int>(model.fn_file.size());
+      model.fn_file.push_back(static_cast<int>(f));
+      model.fn_local.push_back(static_cast<int>(l));
+      model.fn_global_[static_cast<std::int64_t>(f) << 20 |
+                       static_cast<std::int64_t>(l)] = id;
+      model.fns_by_name[syms.functions[l].name].push_back(id);
+    }
+  }
+
+  // Reverse-BFS artifact-writer reachability over the name-based call
+  // graph.  Seeds are the functions that open an output stream
+  // themselves; the wave front propagates to every caller whose body
+  // names a reached function as a call token.  Deterministic: ids are
+  // visited in increasing order from a FIFO.
+  const int n = static_cast<int>(model.fn_file.size());
+  model.reaches_sink.assign(static_cast<std::size_t>(n), false);
+  model.sink_via.assign(static_cast<std::size_t>(n), "");
+
+  // callers_of[id] = every function whose call set names fn(id).name.
+  // Built name-first so the fan-out is shared across same-named
+  // definitions.
+  std::unordered_map<std::string, std::vector<int>> callers_of_name;
+  for (int id = 0; id < n; ++id) {
+    for (const auto& callee : model.fn(id).calls) {
+      if (model.fns_by_name.count(callee)) {
+        callers_of_name[callee].push_back(id);
+      }
+    }
+  }
+
+  std::deque<int> queue;
+  for (int id = 0; id < n; ++id) {
+    if (model.fn(id).writes_file) {
+      model.reaches_sink[static_cast<std::size_t>(id)] = true;
+      model.sink_via[static_cast<std::size_t>(id)] = model.fn(id).qname;
+      queue.push_back(id);
+    }
+  }
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    const auto it = callers_of_name.find(model.fn(id).name);
+    if (it == callers_of_name.end()) continue;
+    for (const int caller : it->second) {
+      if (model.reaches_sink[static_cast<std::size_t>(caller)]) continue;
+      model.reaches_sink[static_cast<std::size_t>(caller)] = true;
+      model.sink_via[static_cast<std::size_t>(caller)] =
+          model.sink_via[static_cast<std::size_t>(id)];
+      queue.push_back(caller);
+    }
+  }
+
+  return model;
+}
+
+}  // namespace drift::lint

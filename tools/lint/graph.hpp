@@ -1,0 +1,69 @@
+// Whole-program model for drift_lint v2: per-file symbol tables glued
+// into a repo-wide view with
+//
+//   * an include graph (resolved quoted includes only — hermetic with
+//     respect to the walked file set),
+//   * an approximate, name-based call graph (function F calls G when
+//     G's unqualified name appears as a call token in F's body; over-
+//     inclusive by design, which is the right bias for reachability
+//     lints),
+//   * artifact-writer reachability: the set of functions from which
+//     some call path reaches a function that opens an output stream
+//     (obs report/trace writers, bench JSON emitters, CSV dumps),
+//   * the declared module layering DAG (see analyses.cpp `layer`).
+//
+// Everything is computed once per run in build_model and shared by all
+// graph rules through Context::model.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lexed_file.hpp"
+#include "symbols.hpp"
+
+namespace drift::lint {
+
+/// Repo-wide function id: index into RepoModel::fn_file / fn_index.
+struct RepoModel {
+  std::vector<FileSyms> files;  ///< parallel to the walked file order
+  std::unordered_map<std::string, int> file_index;  ///< rel -> files idx
+
+  /// Flattened function table: global id -> (file, local index).
+  std::vector<int> fn_file;
+  std::vector<int> fn_local;
+  std::unordered_map<std::string, std::vector<int>> fns_by_name;
+
+  /// Per global function id: reaches (transitively, via the name-based
+  /// call graph) a function that opens an output stream.  `sink_via`
+  /// names one such writer (qualified) for the diagnostic.
+  std::vector<bool> reaches_sink;
+  std::vector<std::string> sink_via;
+
+  const FunctionSym& fn(int id) const {
+    return files[static_cast<std::size_t>(fn_file[static_cast<std::size_t>(id)])]
+        .functions[static_cast<std::size_t>(fn_local[static_cast<std::size_t>(id)])];
+  }
+
+  /// Global id for (file index, local function index).
+  int global_fn(int file, int local) const {
+    auto it = fn_global_.find(static_cast<std::int64_t>(file) << 20 | local);
+    return it == fn_global_.end() ? -1 : it->second;
+  }
+
+  std::unordered_map<std::int64_t, int> fn_global_;
+};
+
+/// Declared module layering.  Rank grows toward the application layer;
+/// a module may reference same-or-lower ranks.  obs is additionally
+/// referenceable from everywhere (cross-cutting instrumentation), ref
+/// and simd are handled by dedicated rules (oracle-include, intrinsic).
+/// Returns -1 for unknown modules.
+int module_rank(const std::string& module_name);
+
+RepoModel build_model(const std::vector<LexedFile>& files,
+                      const std::unordered_set<std::string>& file_set);
+
+}  // namespace drift::lint

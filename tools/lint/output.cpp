@@ -1,0 +1,157 @@
+#include "output.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+
+namespace drift::lint {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_text(const std::vector<Violation>& violations,
+                std::size_t files_scanned) {
+  for (const auto& v : violations) {
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  std::cerr << "drift_lint: " << violations.size() << " violation(s) in "
+            << files_scanned << " file(s) scanned\n";
+}
+
+void print_json(const std::vector<Violation>& violations,
+                std::size_t files_scanned) {
+  std::cout << "{\n  \"files_scanned\": " << files_scanned
+            << ",\n  \"violation_count\": " << violations.size()
+            << ",\n  \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const auto& v = violations[i];
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "    {\"file\": \"" << json_escape(v.file)
+              << "\", \"line\": " << v.line << ", \"rule\": \""
+              << json_escape(v.rule) << "\", \"message\": \""
+              << json_escape(v.message) << "\"}";
+  }
+  std::cout << (violations.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+void print_sarif(const std::vector<Violation>& violations) {
+  const auto& rules = rule_registry();
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    rule_index[rules[i].id] = i;
+  }
+
+  std::cout << "{\n"
+            << "  \"$schema\": "
+               "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+            << "  \"version\": \"2.1.0\",\n"
+            << "  \"runs\": [\n"
+            << "    {\n"
+            << "      \"tool\": {\n"
+            << "        \"driver\": {\n"
+            << "          \"name\": \"drift_lint\",\n"
+            << "          \"informationUri\": "
+               "\"DESIGN.md#static-analysis-v2\",\n"
+            << "          \"rules\": [";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "            {\"id\": \"" << json_escape(rules[i].id)
+              << "\", \"shortDescription\": {\"text\": \""
+              << json_escape(rules[i].summary) << "\"}}";
+  }
+  std::cout << "\n          ]\n"
+            << "        }\n"
+            << "      },\n"
+            << "      \"results\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const auto& v = violations[i];
+    const auto it = rule_index.find(v.rule);
+    std::cout << (i == 0 ? "\n" : ",\n")
+              << "        {\"ruleId\": \"" << json_escape(v.rule) << "\"";
+    if (it != rule_index.end()) {
+      std::cout << ", \"ruleIndex\": " << it->second;
+    }
+    std::cout << ", \"level\": \"error\", \"message\": {\"text\": \""
+              << json_escape(v.message)
+              << "\"}, \"locations\": [{\"physicalLocation\": "
+                 "{\"artifactLocation\": {\"uri\": \""
+              << json_escape(v.file)
+              << "\"}, \"region\": {\"startLine\": " << v.line << "}}}]}";
+  }
+  std::cout << (violations.empty() ? "]\n" : "\n      ]\n")
+            << "    }\n"
+            << "  ]\n"
+            << "}\n";
+}
+
+bool load_ratchet(const std::string& path,
+                  std::map<std::string, int>& budgets) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  // Flat object of "rule": count pairs; anything else in the file is
+  // ignored, so a trailing comment key is harmless.
+  static const std::regex kPair(R"#("([A-Za-z_-]+)"\s*:\s*(\d+))#");
+  auto it = std::sregex_iterator(text.begin(), text.end(), kPair);
+  bool any = false;
+  for (; it != std::sregex_iterator(); ++it) {
+    budgets[(*it)[1].str()] = std::stoi((*it)[2].str());
+    any = true;
+  }
+  return any || text.find('{') != std::string::npos;
+}
+
+int apply_ratchet(const std::vector<Violation>& violations,
+                  const std::map<std::string, int>& budgets) {
+  std::map<std::string, int> counts;
+  for (const auto& v : violations) ++counts[v.rule];
+
+  int exceeded = 0;
+  for (const auto& [rule, count] : counts) {
+    const auto it = budgets.find(rule);
+    const int budget = it == budgets.end() ? 0 : it->second;
+    if (count > budget) {
+      std::cerr << "drift_lint: ratchet EXCEEDED for rule '" << rule
+                << "': " << count << " > budget " << budget << "\n";
+      ++exceeded;
+    } else {
+      std::cerr << "drift_lint: ratchet ok for rule '" << rule << "': "
+                << count << " <= budget " << budget << "\n";
+    }
+  }
+  // Budgets that are now over-generous invite regressions; nudge them
+  // down but do not fail the gate.
+  for (const auto& [rule, budget] : budgets) {
+    if (budget > 0 && counts.find(rule) == counts.end()) {
+      std::cerr << "drift_lint: ratchet budget for rule '" << rule
+                << "' can be lowered to 0\n";
+    }
+  }
+  return exceeded == 0 ? 0 : 1;
+}
+
+}  // namespace drift::lint

@@ -1,58 +1,69 @@
-// drift_lint rule engine.
+// drift_lint rule engine: registry interface shared by the lexer-level
+// rules (file_rules.cpp) and the whole-program graph analyses
+// (analyses.cpp).
 //
-// Rule catalog (see DESIGN.md "Static analysis" for rationale):
+// v1 rules (per-file, token-level — see DESIGN.md "Static analysis"):
 //
-//   thread          std::thread / std::jthread / std::async / OpenMP /
-//                   pthread_create anywhere except src/util/thread_pool.*
-//                   (std::thread::hardware_concurrency is a read-only
-//                   query and stays legal).
-//   random          std::random_device, rand(), srand(), time(),
-//                   *_clock::now() inside src/ outside util/rng.hpp —
-//                   every stochastic or timing decision must flow
-//                   through the seeded Rng (bit-identical replays).
-//   oracle-include  src/ref/ may include only src/ref/ and standard
-//                   headers, and no non-test code may include anything
-//                   that resolves into tests/.
-//   narrow          casts (C-style or static_cast) to 8/16/32-bit
-//                   integer types in src/core/ and src/nn/ — the
-//                   int4/int8 code-carrying types — must carry an
-//                   allow(narrow) suppression justifying why the value
-//                   cannot overflow.
-//   intrinsic       raw SIMD usage outside src/nn/simd/: vector
-//                   intrinsic headers (immintrin.h, arm_neon.h, ...)
-//                   and intrinsic tokens (_mm*, __m256, int8x16_t, ...)
-//                   anywhere, plus src/ includes that resolve into
-//                   src/nn/simd/ — dispatch-boundary consumers carry a
-//                   justified allow(intrinsic).
-//   index           .data()[...] indexing with no DRIFT_CHECK* in the
-//                   enclosing function (src/ only); use at()/operator()
-//                   or add an explicit range check.
-//   logging         printf/fprintf/puts/std::cout/std::cerr/std::clog
-//                   in src/ and tools/ — use util/logging.hpp.  The
-//                   designated reporting sinks (tools/lint/,
-//                   tools/report/, tools/driftsim.cpp) are CLI
-//                   front-ends whose stdout IS the product and are
-//                   exempt.
-//   obs             metrics-registry lookup-by-string (.counter("..."),
-//                   .gauge, .histogram, .layer_record) inside a loop in
-//                   src/ outside src/obs/, and in tools/ outside the
-//                   reporting sinks — cache the handle (static
-//                   pointer, or the DRIFT_OBS_* macros which do so).
-//   suppression     a drift-lint allow comment that names an unknown
-//                   rule or carries no justification text.  Not itself
-//                   suppressible.
+//   thread          raw threading primitives outside util/thread_pool.*
+//   random          nondeterministic sources inside src/ outside
+//                   util/rng.hpp
+//   oracle-include  src/ref/ may include only src/ref/ + std headers;
+//                   no non-test code includes tests/
+//   narrow          casts to int8/16/32-carrying types in src/{core,nn}/
+//                   need a justified allow
+//   intrinsic       raw SIMD confined to src/nn/simd/; dispatch-header
+//                   consumers carry a justified allow
+//   index           .data()[...] with no DRIFT_CHECK in the enclosing
+//                   function
+//   logging         stdio/iostream outside the reporting sinks
+//   obs             metrics lookup-by-string inside loops
+//   suppression     malformed / unjustified allows (never suppressible)
 //
-// Suppressions are written `allow(narrow) — why this is safe` after a
+// v2 rules (whole-program, symbol/graph-level — DESIGN.md "Static
+// analysis v2"):
+//
+//   layer           cross-module reference (include edge or qualified
+//                   symbol use) violating the declared module DAG
+//                   util → tensor/stats → core/nn/dram/energy/systolic
+//                   → accel → obs → serve; src/ref referenced by no
+//                   production module; obs reachable from every layer
+//                   as the cross-cutting instrumentation sidecar
+//   unordered       iteration over unordered_{map,set} inside a
+//                   function from which the approximate call graph
+//                   reaches an artifact writer (any function that opens
+//                   an output stream) — hash order would leak into a
+//                   committed artifact
+//   float-accum     float (not double) += accumulation inside a loop in
+//                   src/ outside src/nn/simd/ — reductions accumulate
+//                   in double or go through the canonical 4-lane
+//                   schedule
+//   rng-stream      direct engine/distribution construction outside
+//                   util/rng.hpp — randomness flows through seeded,
+//                   forkable Rng streams only
+//   race            parallel_for / pool-submit lambda writing a
+//                   by-reference capture without atomics or
+//                   disjoint-slot (subscripted) indexing
+//   atomic-order    memory_order_relaxed outside src/obs/ needs a
+//                   justified allow (obs shards are the one blessed
+//                   relaxed-atomics site)
+//   dead-api        exported (header, namespace-scope) symbol with zero
+//                   cross-TU references in the walked tree
+//
+// Suppressions are written `allow(<rule>) — why this is safe` after a
 // "drift-lint" colon marker, on the violating line or on a comment-only
 // line directly above it.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "lexed_file.hpp"
 
 namespace drift::lint {
+
+struct RepoModel;  // graph.hpp
 
 struct Violation {
   std::string file;  ///< path relative to the lint root
@@ -61,7 +72,38 @@ struct Violation {
   std::string message;
 };
 
-/// Runs every rule over `files` and returns the surviving (unsuppressed)
+/// Everything a rule needs to run and report.
+struct Context {
+  const std::unordered_set<std::string>* file_set = nullptr;
+  const RepoModel* model = nullptr;
+  std::vector<Violation>* out = nullptr;
+};
+
+/// One registered rule.  Exactly one of the two check callbacks is
+/// set: `check_file` runs once per lexed file, `check_repo` once per
+/// run over the whole-program model.  `summary` feeds the SARIF rule
+/// catalog, so it states the invariant, not the failure.
+struct Rule {
+  std::string id;
+  std::string summary;
+  std::function<void(const Context&, const LexedFile&)> check_file;
+  std::function<void(const Context&, const RepoModel&)> check_repo;
+};
+
+/// All rules, lexer-level then graph-level, in catalog order.  The
+/// order is stable: SARIF ruleIndex values are derived from it.
+const std::vector<Rule>& rule_registry();
+
+/// Registration hooks (defined in file_rules.cpp / analyses.cpp).
+void add_file_rules(std::vector<Rule>& rules);
+void add_graph_rules(std::vector<Rule>& rules);
+
+/// Reporting helper shared by both rule kinds.
+void report(const Context& ctx, const std::string& rel, int line_idx,
+            const char* rule, std::string message);
+
+/// Runs every registered rule over `files` (building the repo model
+/// for the graph analyses) and returns the surviving (unsuppressed)
 /// violations sorted by (file, line, rule).  `files` must hold the
 /// complete walked set: include resolution only consults this set, so
 /// the engine is hermetic with respect to the filesystem.

@@ -1,0 +1,681 @@
+#include "symbols.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+#include "text.hpp"
+
+namespace drift::lint {
+
+namespace {
+
+const std::unordered_set<std::string>& keyword_set() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "if",     "for",    "while",    "switch", "catch",   "return",
+      "sizeof", "new",    "delete",   "throw",  "do",      "else",
+      "case",   "default", "alignof", "alignas", "decltype", "co_await",
+      "co_return", "co_yield", "static_assert", "noexcept", "requires"};
+  return kKeywords;
+}
+
+/// Code channel joined with '\n', preprocessor lines blanked (a macro
+/// body's braces/parens must not desync the frame stack), with a
+/// char-offset -> line map.
+struct Joined {
+  std::string text;
+  std::vector<int> line_of;
+};
+
+Joined join_code(const LexedFile& file) {
+  Joined j;
+  j.text.reserve(file.lines.size() * 40);
+  bool pp_continued = false;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    const std::string& raw = file.lines[i].raw;
+    const std::string t = trim(raw);
+    const bool pp = pp_continued || (!t.empty() && t[0] == '#');
+    pp_continued = pp && !t.empty() && t.back() == '\\';
+    const int line = static_cast<int>(i);
+    if (pp) {
+      j.text.append(code.size(), ' ');
+      j.line_of.insert(j.line_of.end(), code.size(), line);
+    } else {
+      j.text += code;
+      j.line_of.insert(j.line_of.end(), code.size(), line);
+    }
+    j.text += '\n';
+    j.line_of.push_back(line);
+  }
+  return j;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t p) {
+  while (p < s.size() &&
+         (s[p] == ' ' || s[p] == '\t' || s[p] == '\n')) {
+    ++p;
+  }
+  return p;
+}
+
+/// Walks back from `end` (exclusive) over `A::B::name`, returning the
+/// chain ("A::B::name") and the unqualified last component.
+std::pair<std::string, std::string> ident_chain_before(
+    const std::string& s, std::size_t end) {
+  std::size_t p = end;
+  while (p > 0 && (s[p - 1] == ' ' || s[p - 1] == '\t' || s[p - 1] == '\n')) {
+    --p;
+  }
+  const std::size_t chain_end = p;
+  std::string last;
+  bool last_done = false;
+  while (p > 0) {
+    if (is_ident_char(s[p - 1])) {
+      --p;
+    } else if (p >= 2 && s[p - 1] == ':' && s[p - 2] == ':') {
+      if (!last_done) {
+        last = s.substr(p, chain_end - p);
+        last_done = true;
+      }
+      p -= 2;
+    } else {
+      break;
+    }
+  }
+  std::string chain = s.substr(p, chain_end - p);
+  if (!last_done) last = chain;
+  // Trim a leading "::" (global qualification).
+  if (starts_with(chain, "::")) chain = chain.substr(2);
+  const std::size_t c = last.find_last_of(':');
+  if (c != std::string::npos) last = last.substr(c + 1);
+  return {chain, last};
+}
+
+struct Frame {
+  enum Kind { kNamespace, kClass, kFunction, kOther };
+  Kind kind = kOther;
+  std::string name;
+  int fn_index = -1;           ///< into FileSyms::functions for kFunction
+  std::size_t body_start = 0;  ///< offset just past the '{'
+  bool access_public = true;   ///< current section of a kClass frame
+};
+
+/// Applies any `public:` / `protected:` / `private:` labels in the
+/// statement buffer to the class frame they appear in.  Labels only
+/// occur at class scope, where the class frame is the top of stack;
+/// the last label in the buffer wins.
+void update_access(std::vector<Frame>& stack, const std::string& pending) {
+  if (stack.empty() || stack.back().kind != Frame::kClass) return;
+  std::size_t best = std::string::npos;
+  bool is_public = true;
+  for (const char* label : {"public", "protected", "private"}) {
+    const std::string tok = label;
+    std::size_t from = 0;
+    while (from < pending.size()) {
+      const std::size_t hit = pending.find(tok, from);
+      if (hit == std::string::npos) break;
+      from = hit + tok.size();
+      const bool left_ok = hit == 0 || !is_ident_char(pending[hit - 1]);
+      const bool right_ok =
+          from >= pending.size() || !is_ident_char(pending[from]);
+      if (!left_ok || !right_ok) continue;
+      const std::size_t colon = skip_ws(pending, from);
+      if (colon >= pending.size() || pending[colon] != ':' ||
+          (colon + 1 < pending.size() && pending[colon + 1] == ':')) {
+        continue;  // base-clause access or qualified name, not a label
+      }
+      if (best == std::string::npos || hit > best) {
+        best = hit;
+        is_public = tok == "public";
+      }
+    }
+  }
+  if (best != std::string::npos) stack.back().access_public = is_public;
+}
+
+/// Whether the innermost class frame (if any) is in a public section.
+bool innermost_class_public(const std::vector<Frame>& stack) {
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->kind == Frame::kClass) return it->access_public;
+  }
+  return true;
+}
+
+std::string scope_qname(const std::vector<Frame>& stack) {
+  std::string q;
+  for (const auto& f : stack) {
+    if ((f.kind == Frame::kNamespace || f.kind == Frame::kClass) &&
+        !f.name.empty()) {
+      if (!q.empty()) q += "::";
+      q += f.name;
+    }
+  }
+  return q;
+}
+
+/// Name of the innermost class frame ("" if none) — for ctor detection.
+std::string innermost_class(const std::vector<Frame>& stack) {
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->kind == Frame::kClass) return it->name;
+  }
+  return "";
+}
+
+/// The identifier right after `keyword` in `pending` ("" if absent).
+std::string ident_after(const std::string& pending, const char* keyword) {
+  const std::size_t k = find_token(pending, keyword);
+  if (k == std::string::npos) return "";
+  std::size_t p = skip_ws(pending, k + std::string(keyword).size());
+  const std::size_t b = p;
+  while (p < pending.size() && is_ident_char(pending[p])) ++p;
+  return pending.substr(b, p - b);
+}
+
+/// Extracts the candidate function name from a signature buffer: the
+/// identifier chain immediately before the first top-level '('.
+/// Returns ("", "") when the buffer does not look like a function.
+std::pair<std::string, std::string> function_name(const std::string& pending) {
+  const std::size_t paren = pending.find('(');
+  if (paren == std::string::npos) return {"", ""};
+  const std::size_t eq = pending.find('=');
+  if (eq != std::string::npos && eq < paren) return {"", ""};
+  auto [chain, last] = ident_chain_before(pending, paren);
+  if (last.empty() || keyword_set().count(last) || last == "operator") {
+    return {"", ""};
+  }
+  return {chain, last};
+}
+
+void collect_calls(const std::string& text, std::set<std::string>& calls) {
+  std::size_t p = 0;
+  const std::size_t n = text.size();
+  while (p < n) {
+    if (!is_ident_char(text[p]) || (p > 0 && is_ident_char(text[p - 1]))) {
+      ++p;
+      continue;
+    }
+    std::size_t e = p;
+    while (e < n && is_ident_char(text[e])) ++e;
+    const std::string tok = text.substr(p, e - p);
+    const std::size_t after = skip_ws(text, e);
+    if (after < n && text[after] == '(' && !keyword_set().count(tok) &&
+        !(tok[0] >= '0' && tok[0] <= '9')) {
+      calls.insert(tok);
+    }
+    p = e;
+  }
+}
+
+void collect_calls_and_sinks(const std::string& body, FunctionSym& fn) {
+  collect_calls(body, fn.calls);
+  fn.writes_file = find_token(body, "ofstream") != std::string::npos ||
+                   fn.calls.count("fopen") > 0 || fn.calls.count("freopen") > 0;
+}
+
+/// Calls in the signature tail after the parameter list — constructor
+/// member-initializer lists live there (`: enabled_(level >= gate())`),
+/// and those calls must feed the call graph like body calls do.
+void collect_initializer_calls(const std::string& pending, FunctionSym& fn) {
+  const std::size_t open = pending.find('(');
+  if (open == std::string::npos) return;
+  int depth = 0;
+  std::size_t close = std::string::npos;
+  for (std::size_t p = open; p < pending.size(); ++p) {
+    if (pending[p] == '(') ++depth;
+    else if (pending[p] == ')') {
+      if (--depth == 0) { close = p; break; }
+    }
+  }
+  if (close == std::string::npos || close + 1 >= pending.size()) return;
+  collect_calls(pending.substr(close + 1), fn.calls);
+}
+
+void collect_idents(const LexedFile& file, std::unordered_set<std::string>& out) {
+  for (const auto& line : file.lines) {
+    const std::string& code = line.code;
+    std::size_t p = 0;
+    while (p < code.size()) {
+      if (is_ident_char(code[p]) && (p == 0 || !is_ident_char(code[p - 1])) &&
+          !(code[p] >= '0' && code[p] <= '9')) {
+        std::size_t e = p;
+        while (e < code.size() && is_ident_char(code[e])) ++e;
+        out.insert(code.substr(p, e - p));
+        p = e;
+      } else {
+        ++p;
+      }
+    }
+  }
+}
+
+const std::unordered_set<std::string>& module_ns_set() {
+  static const std::unordered_set<std::string> kModules = {
+      "util", "tensor", "stats", "core", "nn", "dram", "energy",
+      "systolic", "accel", "obs", "serve", "ref", "log", "simd"};
+  return kModules;
+}
+
+void collect_ns_refs(const LexedFile& file, FileSyms& out) {
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    std::size_t p = 0;
+    while (p + 1 < code.size()) {
+      if (!(code[p] == ':' && code[p + 1] == ':')) {
+        ++p;
+        continue;
+      }
+      // Found a "::" — walk the whole chain around it once, then skip
+      // past it.
+      std::size_t chain_begin = p;
+      while (chain_begin > 0 &&
+             (is_ident_char(code[chain_begin - 1]) ||
+              code[chain_begin - 1] == ':')) {
+        --chain_begin;
+      }
+      std::size_t chain_end = p;
+      while (chain_end < code.size() &&
+             (is_ident_char(code[chain_end]) || code[chain_end] == ':')) {
+        ++chain_end;
+      }
+      const std::string chain = code.substr(chain_begin, chain_end - chain_begin);
+      // Split on "::"; the first module-named component that is
+      // *followed by* "::" (i.e. used as a namespace) wins.  `nn` looks
+      // one component ahead so `nn::simd::` maps to the sealed simd
+      // module, not nn.
+      std::vector<std::string> comps;
+      std::size_t b = 0;
+      while (b <= chain.size()) {
+        const std::size_t e = chain.find("::", b);
+        comps.push_back(chain.substr(b, e == std::string::npos ? e : e - b));
+        if (e == std::string::npos) break;
+        b = e + 2;
+      }
+      for (std::size_t k = 0; k + 1 < comps.size(); ++k) {
+        if (!module_ns_set().count(comps[k])) continue;
+        std::string mod = comps[k] == "log" ? "util" : comps[k];
+        if (comps[k] == "nn" && k + 2 < comps.size() &&
+            comps[k + 1] == "simd") {
+          mod = "simd";
+        }
+        out.ns_refs.push_back({static_cast<int>(i), mod});
+        break;
+      }
+      p = chain_end;
+    }
+  }
+}
+
+void collect_unordered(const LexedFile& file, FileSyms& out) {
+  static const std::regex kDecl(
+      R"(unordered_(?:map|set)\s*<)");
+  static const std::regex kName(R"(>\s*[&*]?\s*([A-Za-z_]\w*)\s*[;={(,)])");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    if (code.find("unordered_") == std::string::npos) continue;
+    if (!std::regex_search(code, kDecl)) continue;
+    for (std::sregex_iterator it(code.begin(), code.end(), kName), end;
+         it != end; ++it) {
+      out.unordered_names.insert((*it)[1].str());
+    }
+  }
+  if (out.unordered_names.empty()) return;
+
+  static const std::regex kRangeFor(R"(for\s*\()");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    // Range-for over an unordered container: `for (... : <expr>)` where
+    // the range expression's trailing identifier names one.
+    std::smatch m;
+    if (std::regex_search(code, m, kRangeFor)) {
+      const std::size_t open =
+          static_cast<std::size_t>(m.position(0)) + m.length(0) - 1;
+      int depth = 0;
+      std::size_t colon = std::string::npos, close = std::string::npos;
+      for (std::size_t p = open; p < code.size(); ++p) {
+        if (code[p] == '(') ++depth;
+        else if (code[p] == ')') {
+          if (--depth == 0) { close = p; break; }
+        } else if (code[p] == ':' && depth == 1 &&
+                   (p + 1 >= code.size() || code[p + 1] != ':') &&
+                   (p == 0 || code[p - 1] != ':')) {
+          colon = p;
+        }
+      }
+      if (colon != std::string::npos && close != std::string::npos) {
+        std::string expr = trim(code.substr(colon + 1, close - colon - 1));
+        const std::size_t dot = expr.find_last_of(".>");
+        if (dot == std::string::npos) {
+          // Bare identifier (possibly with trailing call — strip it).
+          const std::size_t paren = expr.find('(');
+          if (paren != std::string::npos) expr = trim(expr.substr(0, paren));
+          if (out.unordered_names.count(expr)) {
+            out.unordered_iters.push_back({static_cast<int>(i), -1, expr});
+          }
+        }
+      }
+    }
+    // Explicit iterator loop: `c.begin()` / `c.cbegin()`.
+    for (const auto& name : out.unordered_names) {
+      const std::size_t pos = find_token(code, name);
+      if (pos == std::string::npos) continue;
+      const std::size_t after = skip_ws(code, pos + name.size());
+      if (code.compare(after, 7, ".begin(") == 0 ||
+          code.compare(after, 8, ".cbegin(") == 0) {
+        out.unordered_iters.push_back({static_cast<int>(i), -1, name});
+      }
+    }
+  }
+}
+
+void collect_loop_depth(const LexedFile& file, FileSyms& out) {
+  out.loop_depth.assign(file.lines.size(), 0);
+  out.loop_on_line.assign(file.lines.size(), false);
+  int loop_depth = 0;
+  std::vector<bool> loop_stack;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    out.loop_depth[i] = loop_depth;
+    out.loop_on_line[i] = find_token(code, "for") != std::string::npos ||
+                          find_token(code, "while") != std::string::npos;
+    std::size_t scan_from = 0;
+    int paren_depth = 0;
+    for (std::size_t p = 0; p < code.size(); ++p) {
+      const char c = code[p];
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')') {
+        if (paren_depth > 0) --paren_depth;
+      } else if (c == '{') {
+        const std::string head = code.substr(scan_from, p - scan_from);
+        const bool is_loop =
+            find_token(head, "for") != std::string::npos ||
+            find_token(head, "while") != std::string::npos ||
+            find_token(head, "do") != std::string::npos;
+        loop_stack.push_back(is_loop);
+        if (is_loop) ++loop_depth;
+        scan_from = p + 1;
+      } else if (c == '}') {
+        if (!loop_stack.empty()) {
+          if (loop_stack.back()) --loop_depth;
+          loop_stack.pop_back();
+        }
+        scan_from = p + 1;
+      } else if (c == ';' && paren_depth == 0) {
+        scan_from = p + 1;
+      }
+    }
+  }
+}
+
+void collect_parallel_sites(const Joined& j, FileSyms& out) {
+  const std::string& s = j.text;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t tok = std::string::npos;
+    for (const char* t : {"parallel_for", "submit"}) {
+      std::size_t p = pos;
+      while ((p = s.find(t, p)) != std::string::npos) {
+        const bool left_ok = p == 0 || !is_ident_char(s[p - 1]);
+        const std::size_t e = p + std::string(t).size();
+        const bool right_ok = e >= s.size() || !is_ident_char(s[e]);
+        if (left_ok && right_ok) break;
+        p = e;
+      }
+      if (p != std::string::npos && (tok == std::string::npos || p < tok)) {
+        tok = p;
+      }
+    }
+    if (tok == std::string::npos) break;
+    std::size_t p = tok;
+    while (p < s.size() && is_ident_char(s[p])) ++p;
+    p = skip_ws(s, p);
+    if (p >= s.size() || s[p] != '(') {
+      pos = tok + 1;
+      continue;
+    }
+    // Inside the call's argument list: find the lambda capture '['.
+    int depth = 0;
+    std::size_t open_bracket = std::string::npos;
+    for (std::size_t q = p; q < s.size(); ++q) {
+      if (s[q] == '(') ++depth;
+      else if (s[q] == ')') {
+        if (--depth == 0) break;
+      } else if (s[q] == '[' && depth >= 1) {
+        open_bracket = q;
+        break;
+      }
+    }
+    if (open_bracket == std::string::npos) {
+      pos = tok + 1;
+      continue;
+    }
+    const std::size_t close_bracket = s.find(']', open_bracket);
+    if (close_bracket == std::string::npos) break;
+    ParallelSite site;
+    site.line = j.line_of[tok];
+    site.captures =
+        s.substr(open_bracket + 1, close_bracket - open_bracket - 1);
+    // Parameter list (optional for no-arg lambdas).
+    std::size_t q = skip_ws(s, close_bracket + 1);
+    if (q < s.size() && s[q] == '(') {
+      int pd = 0;
+      std::size_t params_end = q;
+      for (std::size_t r = q; r < s.size(); ++r) {
+        if (s[r] == '(') ++pd;
+        else if (s[r] == ')') {
+          if (--pd == 0) { params_end = r; break; }
+        }
+      }
+      const std::string params = s.substr(q + 1, params_end - q - 1);
+      std::size_t b = 0;
+      while (b <= params.size()) {
+        std::size_t e = params.find(',', b);
+        const std::string piece =
+            params.substr(b, e == std::string::npos ? e : e - b);
+        auto [chain, last] = ident_chain_before(piece, piece.size());
+        if (!last.empty()) site.params.push_back(last);
+        if (e == std::string::npos) break;
+        b = e + 1;
+      }
+      q = params_end + 1;
+    }
+    // Body: first '{' after specifiers, to its matching '}'.
+    const std::size_t body_open = s.find('{', q);
+    if (body_open == std::string::npos) break;
+    int bd = 0;
+    std::size_t body_close = std::string::npos;
+    for (std::size_t r = body_open; r < s.size(); ++r) {
+      if (s[r] == '{') ++bd;
+      else if (s[r] == '}') {
+        if (--bd == 0) { body_close = r; break; }
+      }
+    }
+    if (body_close == std::string::npos) break;
+    site.body_begin = j.line_of[body_open];
+    site.body_end = j.line_of[body_close];
+    site.body = s.substr(body_open + 1, body_close - body_open - 1);
+    out.parallel_sites.push_back(std::move(site));
+    pos = body_close + 1;
+  }
+}
+
+}  // namespace
+
+std::string module_of(const std::string& rel) {
+  if (!starts_with(rel, "src/")) return "";
+  if (starts_with(rel, "src/nn/simd/")) return "simd";
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel.substr(4, slash - 4);
+}
+
+FileSyms extract_symbols(const LexedFile& file,
+                         const std::unordered_set<std::string>& file_set) {
+  FileSyms out;
+  out.rel = file.rel;
+  out.module_name = module_of(file.rel);
+  const std::string ext =
+      file.rel.size() > 4 ? file.rel.substr(file.rel.find_last_of('.')) : "";
+  out.is_header = ext == ".hpp" || ext == ".h" || ext == ".hh";
+
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const auto inc = parse_include(file.lines[i].raw);
+    if (inc && !inc->angled) {
+      const auto resolved = resolve_include(file.rel, inc->path, file_set);
+      if (resolved) out.includes.push_back({static_cast<int>(i), *resolved});
+    }
+  }
+
+  collect_idents(file, out.idents);
+  collect_ns_refs(file, out);
+  collect_unordered(file, out);
+  collect_loop_depth(file, out);
+
+  const Joined j = join_code(file);
+  collect_parallel_sites(j, out);
+
+  // ---- frame scan: namespaces / classes / functions ----
+  const std::string& s = j.text;
+  std::vector<Frame> stack;
+  std::string pending;
+  std::vector<std::size_t> pending_off;  ///< source offset of each char
+
+  const auto pending_line_of_name = [&](const std::string& name) -> int {
+    const std::size_t p = find_token(pending, name);
+    if (p == std::string::npos || pending_off.empty()) {
+      return pending_off.empty() ? 0 : j.line_of[pending_off[0]];
+    }
+    return j.line_of[pending_off[p]];
+  };
+
+  const auto scope_is_type_or_ns = [&]() {
+    return stack.empty() || stack.back().kind == Frame::kNamespace ||
+           stack.back().kind == Frame::kClass;
+  };
+
+  for (std::size_t pos = 0; pos < s.size(); ++pos) {
+    const char c = s[pos];
+    if (c == '{') {
+      update_access(stack, pending);
+      Frame frame;
+      frame.body_start = pos + 1;
+      if (!scope_is_type_or_ns()) {
+        frame.kind = Frame::kOther;
+      } else if (find_token(pending, "namespace") != std::string::npos ||
+                 find_token(pending, "extern") != std::string::npos) {
+        frame.kind = Frame::kNamespace;
+        auto [chain, last] = ident_chain_before(pending, pending.size());
+        frame.name = chain;
+      } else if ((find_token(pending, "class") != std::string::npos ||
+                  find_token(pending, "struct") != std::string::npos ||
+                  find_token(pending, "union") != std::string::npos ||
+                  find_token(pending, "enum") != std::string::npos) &&
+                 pending.find('(') == std::string::npos) {
+        frame.kind = Frame::kClass;
+        // `class` defaults to private sections, struct/union/enum to
+        // public (enum-class bodies hold no functions anyway).
+        frame.access_public =
+            find_token(pending, "class") == std::string::npos ||
+            find_token(pending, "enum") != std::string::npos;
+        for (const char* kw : {"class", "struct", "union", "enum"}) {
+          const std::string n = ident_after(pending, kw);
+          if (!n.empty() && n != "class") {
+            frame.name = n;
+            break;
+          }
+        }
+      } else {
+        auto [chain, last] = function_name(pending);
+        if (!last.empty()) {
+          frame.kind = Frame::kFunction;
+          FunctionSym fn;
+          fn.name = last;
+          const std::string scope = scope_qname(stack);
+          fn.qname = scope.empty() ? chain : scope + "::" + chain;
+          fn.decl_line = pending_line_of_name(last);
+          fn.body_begin = j.line_of[pos];
+          const std::string cls = innermost_class(stack);
+          fn.member = !cls.empty();
+          fn.is_template =
+              find_token(pending, "template") != std::string::npos;
+          fn.is_virtual = find_token(pending, "virtual") != std::string::npos;
+          // Constructors/destructors are not independent API surface,
+          // and private/protected members are not exported.
+          fn.exported = out.is_header && fn.name != cls &&
+                        pending.find('~') == std::string::npos &&
+                        innermost_class_public(stack);
+          collect_initializer_calls(pending, fn);
+          frame.fn_index = static_cast<int>(out.functions.size());
+          out.functions.push_back(std::move(fn));
+        } else {
+          frame.kind = Frame::kOther;
+        }
+      }
+      stack.push_back(std::move(frame));
+      pending.clear();
+      pending_off.clear();
+    } else if (c == '}') {
+      if (!stack.empty()) {
+        const Frame& top = stack.back();
+        if (top.kind == Frame::kFunction && top.fn_index >= 0) {
+          FunctionSym& fn = out.functions[static_cast<std::size_t>(top.fn_index)];
+          fn.body_end = j.line_of[pos];
+          collect_calls_and_sinks(
+              s.substr(top.body_start, pos - top.body_start), fn);
+        }
+        stack.pop_back();
+      }
+      pending.clear();
+      pending_off.clear();
+    } else if (c == ';') {
+      update_access(stack, pending);
+      // Declaration-only function signatures at namespace/class scope
+      // in headers: the exported API surface.
+      if (out.is_header && scope_is_type_or_ns() &&
+          pending.find('(') != std::string::npos &&
+          find_token(pending, "delete") == std::string::npos &&
+          find_token(pending, "default") == std::string::npos &&
+          find_token(pending, "using") == std::string::npos &&
+          find_token(pending, "typedef") == std::string::npos &&
+          find_token(pending, "friend") == std::string::npos) {
+        auto [chain, last] = function_name(pending);
+        const std::string cls = innermost_class(stack);
+        if (!last.empty() && last != cls &&
+            pending.find('~') == std::string::npos) {
+          FunctionSym fn;
+          fn.name = last;
+          const std::string scope = scope_qname(stack);
+          fn.qname = scope.empty() ? chain : scope + "::" + chain;
+          fn.decl_line = pending_line_of_name(last);
+          fn.member = !cls.empty();
+          fn.is_template =
+              find_token(pending, "template") != std::string::npos;
+          fn.is_virtual = find_token(pending, "virtual") != std::string::npos;
+          fn.exported = innermost_class_public(stack);
+          out.functions.push_back(std::move(fn));
+        }
+      }
+      pending.clear();
+      pending_off.clear();
+    } else {
+      pending += c;
+      pending_off.push_back(pos);
+    }
+  }
+
+  // Attribute unordered iteration sites to their enclosing function.
+  for (auto& iter : out.unordered_iters) {
+    for (std::size_t f = 0; f < out.functions.size(); ++f) {
+      const FunctionSym& fn = out.functions[f];
+      if (fn.body_begin >= 0 && fn.body_begin <= iter.line &&
+          iter.line <= fn.body_end) {
+        iter.func = static_cast<int>(f);
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace drift::lint

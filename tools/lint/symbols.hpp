@@ -1,0 +1,99 @@
+// Heuristic C++ declaration/reference extraction for drift_lint v2.
+//
+// This is NOT a parser: it is a brace/paren state machine over the
+// lexed code channel (comments removed, literals blanked — see
+// lexed_file.hpp) that recovers just enough structure for the graph
+// analyses in analyses.cpp:
+//
+//   * namespaces, classes and function definitions with body line
+//     ranges and best-effort qualified names,
+//   * call sites (identifier followed by '('), giving an approximate
+//     over-inclusive call graph,
+//   * resolved include edges,
+//   * module-qualified symbol references (`serve::`, `accel::`, ...)
+//     for layering checks beyond #include lines,
+//   * unordered-container declarations and iteration sites,
+//   * parallel_for / pool-submit lambda sites with capture lists and
+//     body ranges,
+//   * the per-file identifier set (for cross-TU reference counting).
+//
+// Heuristic parsing trades soundness for zero dependencies: it never
+// misparses into a crash, and the analyses built on it are lint-grade
+// (false positives are suppressible, see rules.hpp).  Preprocessor
+// lines are blanked before scanning so macro bodies cannot desync the
+// brace state.
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "lexed_file.hpp"
+
+namespace drift::lint {
+
+struct FunctionSym {
+  std::string name;   ///< unqualified
+  std::string qname;  ///< Namespace::Class::name, best effort
+  int decl_line = 0;  ///< 0-based line of the signature's name
+  int body_begin = -1;  ///< 0-based first body line; -1 = declaration only
+  int body_end = -1;    ///< 0-based last body line (inclusive)
+  bool member = false;      ///< declared at class scope
+  bool is_template = false;
+  bool is_virtual = false;
+  bool exported = false;  ///< header declaration visible across TUs
+  bool writes_file = false;  ///< body opens an output stream (artifact sink)
+  std::set<std::string> calls;  ///< callee name tokens inside the body
+};
+
+/// A module-qualified reference such as `serve::Simulator` on a line.
+struct NsRef {
+  int line = 0;          ///< 0-based
+  std::string module_ns;  ///< module the namespace maps to ("simd", ...)
+};
+
+/// Iteration over a container declared as unordered_{map,set}.
+struct UnorderedIter {
+  int line = 0;  ///< 0-based
+  int func = -1;  ///< index into FileSyms::functions (-1 = no function)
+  std::string container;
+};
+
+/// A parallel_for(...) / pool.submit(...) call taking a lambda.
+struct ParallelSite {
+  int line = 0;           ///< 0-based line of the call token
+  std::string captures;   ///< text inside the lambda's [...]
+  std::vector<std::string> params;  ///< lambda parameter names
+  int body_begin = -1;    ///< 0-based lambda body line range
+  int body_end = -1;
+  std::string body;       ///< lambda body code text
+};
+
+struct FileSyms {
+  std::string rel;
+  std::string module_name;  ///< src/ module ("" outside src/)
+  bool is_header = false;
+  std::vector<std::pair<int, std::string>> includes;  ///< 0-based line, rel
+  std::vector<FunctionSym> functions;
+  std::vector<NsRef> ns_refs;
+  std::set<std::string> unordered_names;
+  std::vector<UnorderedIter> unordered_iters;
+  std::vector<ParallelSite> parallel_sites;
+  /// Loop nesting depth at the start of each line (for/while/do braces
+  /// only) plus whether a loop keyword appears on the line itself.
+  std::vector<int> loop_depth;
+  std::vector<bool> loop_on_line;
+  /// Every identifier token in the file (code channel).
+  std::unordered_set<std::string> idents;
+};
+
+/// Maps a walked path to its module: "src/nn/simd/..." -> "simd",
+/// "src/<m>/..." -> m, anything else -> "".
+std::string module_of(const std::string& rel);
+
+FileSyms extract_symbols(const LexedFile& file,
+                         const std::unordered_set<std::string>& file_set);
+
+}  // namespace drift::lint
