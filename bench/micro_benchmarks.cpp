@@ -13,7 +13,10 @@
 // suites behind `ctest -L prop`), so oracle-check cost is tracked
 // alongside kernel throughput, and a fixed-seed serving run whose
 // `serve_p99_us` entry (ops_per_s = 1e6/p99_us, simulated cycles, so
-// deterministic) lets the ratchet gate serving tail latency.
+// deterministic) lets the ratchet gate serving tail latency.  A
+// fixed-seed whole-model run of the resnet18 zoo topology records
+// `graph_resnet18_cycles` (ops_per_s = 1e12/cycles, same determinism)
+// so end-to-end model latency is ratcheted too.
 // DRIFT_BENCH_GEMM_SIZE overrides the
 // fp32 GEMM edge (default 1024), DRIFT_BENCH_INT_GEMM_SIZE the
 // backend-sweep edge (default 512); DRIFT_SKIP_KERNEL_SWEEP=1 skips
@@ -40,8 +43,10 @@
 #include "nn/synthetic.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "pipeline.hpp"
 #include "proptest/proptest.hpp"
 #include "serve/simulator.hpp"
+#include "zoo.hpp"
 #include "util/args.hpp"
 #include "ref/ref_kernels.hpp"
 #include "ref/ref_oracles.hpp"
@@ -514,6 +519,38 @@ void run_kernel_sweep(const std::vector<CorpusResult>& corpus) {
                  "p99=%.2fus (%.3g \"ops/s\")\n",
                  r.name.c_str(), r.shape.c_str(), r.threads,
                  r.backend.c_str(), wall, p99_us, r.ops_per_s);
+  }
+
+  // Whole-model graph pipeline: the resnet18 model-zoo topology
+  // through workload export -> mix selection -> scheduler -> cycle
+  // model (the same path `drift_graph run --zoo=resnet18` takes).  The
+  // cycle total is a deterministic function of topology + seed, so
+  // ops_per_s — defined as 1e12/cycles — is bit-stable across machines
+  // and thread counts, and the ratchet's max-slowdown gate bounds
+  // end-to-end model latency regressions like any kernel.
+  {
+    graphcli::GraphPipelineConfig gcfg;
+    graphcli::GraphPipelineResult gres;
+    const double wall = best_seconds(
+        [&] {
+          gres = graphcli::run_graph_pipeline(
+              graphcli::make_zoo_graph("resnet18"), gcfg);
+        },
+        1);
+    KernelResult r;
+    r.name = "graph_resnet18_cycles";
+    r.shape = "resnet18@24x33";
+    r.threads = 1;
+    r.backend = nn::simd::active().name;
+    r.seconds = wall;
+    r.ops_per_s = 1e12 / static_cast<double>(gres.run.cycles);
+    results.push_back(r);
+    std::fprintf(stderr,
+                 "[kernels] %-16s %-18s threads=%d backend=%-6s %.3fs  "
+                 "cycles=%lld (%.3g \"ops/s\")\n",
+                 r.name.c_str(), r.shape.c_str(), r.threads,
+                 r.backend.c_str(), wall,
+                 static_cast<long long>(gres.run.cycles), r.ops_per_s);
   }
   util::ThreadPool::instance().resize(0);
 

@@ -1,0 +1,61 @@
+// Deterministic graph execution with tensor lifetime tracking.
+//
+// Construction validates the graph, infers every shape, and binds each
+// node to its src/nn layer **in node-insertion order** — parameterized
+// layers consume the caller's rng stream exactly like a hand-built
+// Sequential constructed in the same order, which is what makes
+// straight-line graph execution bitwise-identical to Sequential
+// (pinned by tests/prop/prop_graph.cpp).
+//
+// run() executes in the canonical topological order; run_with_order()
+// takes any valid order (the order-invariance property).  Intermediate
+// tensors are reference-counted and released after their last
+// consumer, with the peak resident footprint reported through the
+// graph.* obs metrics.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "graph/ops.hpp"
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace drift::graph {
+
+class GraphExecutor {
+ public:
+  /// Validates + infers + binds; DRIFT_CHECKs that both passes are
+  /// clean (callers wanting error lists run validate()/infer_shapes()
+  /// first).
+  GraphExecutor(Graph g, Rng& rng);
+
+  const Graph& graph() const { return graph_; }
+  const ShapeResult& shapes() const { return shapes_; }
+
+  /// Executes with `inputs` in graph-input order; returns the output
+  /// tensors in graph-output order.
+  std::vector<TensorF> run(const std::vector<TensorF>& inputs,
+                           nn::QuantEngine& engine);
+
+  /// Same, under an explicit topological order (node indices).  The
+  /// order is checked: every node must run after all of its producers.
+  std::vector<TensorF> run_with_order(const std::vector<TensorF>& inputs,
+                                      nn::QuantEngine& engine,
+                                      const std::vector<int>& order);
+
+  /// Lifetime accounting for the most recent run.
+  std::int64_t peak_resident_bytes() const { return peak_resident_bytes_; }
+  std::int64_t tensors_freed() const { return tensors_freed_; }
+
+ private:
+  Graph graph_;
+  ShapeResult shapes_;
+  std::vector<nn::LayerPtr> layers_;      ///< per node; null = graph-level op
+  std::vector<const OpSpec*> specs_;      ///< per node
+  std::vector<std::string> span_names_;   ///< per node, "graph.<node>"
+  std::int64_t peak_resident_bytes_ = 0;
+  std::int64_t tensors_freed_ = 0;
+};
+
+}  // namespace drift::graph

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace drift::nn {
 
 TensorF ReLU::forward(const TensorF& input, QuantEngine&) {
+  DRIFT_OBS_LAYER_SCOPE(name_);
   TensorF out = input;
   for (float& v : out.data()) v = std::max(v, 0.0f);
   return out;
@@ -20,9 +22,15 @@ float gelu_value(float x) {
 }
 
 TensorF GELU::forward(const TensorF& input, QuantEngine&) {
+  DRIFT_OBS_LAYER_SCOPE(name_);
   TensorF out = input;
   for (float& v : out.data()) v = gelu_value(v);
   return out;
+}
+
+TensorF Softmax::forward(const TensorF& input, QuantEngine&) {
+  DRIFT_OBS_LAYER_SCOPE(name_);
+  return softmax_rows(input);
 }
 
 TensorF softmax_rows(const TensorF& x) {

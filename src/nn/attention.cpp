@@ -4,6 +4,7 @@
 
 #include "nn/activations.hpp"
 #include "nn/gemm.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace drift::nn {
@@ -19,6 +20,10 @@ MultiHeadAttention::MultiHeadAttention(std::string name, std::int64_t dim,
 
 TensorF MultiHeadAttention::forward(const TensorF& input,
                                     QuantEngine& engine) {
+  // The projections open their own scopes (name.qkv / name.proj), so
+  // attention coverage is attributed per-GEMM exactly like the
+  // hardware workload export names it.
+  DRIFT_OBS_LAYER_SCOPE(name_);
   DRIFT_CHECK(input.shape().rank() == 2, "attention expects [T, D]");
   DRIFT_CHECK(input.shape().dim(1) == dim_, "attention width mismatch");
   const std::int64_t T = input.shape().dim(0);

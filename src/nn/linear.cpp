@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "nn/gemm.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace drift::nn {
@@ -36,6 +37,7 @@ Linear::Linear(std::string name, std::int64_t in_features,
 }
 
 TensorF Linear::forward(const TensorF& input, QuantEngine& engine) {
+  DRIFT_OBS_LAYER_SCOPE(name_);
   DRIFT_CHECK(input.shape().rank() == 2, "Linear expects [M, K]");
   DRIFT_CHECK(input.shape().dim(1) == in_features(),
               "Linear input width mismatch");

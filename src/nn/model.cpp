@@ -31,9 +31,9 @@ ResidualBlock::ResidualBlock(std::string name, std::int64_t in_channels,
                              Rng& rng)
     : name_(std::move(name)),
       conv1_(name_ + ".conv1", in_channels, out_channels, 3, stride, 1, rng),
-      bn1_(name_ + ".bn1", out_channels),
+      bn1_(name_ + ".bn1", out_channels), relu1_(name_ + ".relu1"),
       conv2_(name_ + ".conv2", out_channels, out_channels, 3, 1, 1, rng),
-      bn2_(name_ + ".bn2", out_channels) {
+      bn2_(name_ + ".bn2", out_channels), relu2_(name_ + ".relu2") {
   if (stride != 1 || in_channels != out_channels) {
     projection_ = std::make_unique<Conv2d>(name_ + ".proj", in_channels,
                                            out_channels, 1, stride, 0, rng);
@@ -41,9 +41,13 @@ ResidualBlock::ResidualBlock(std::string name, std::int64_t in_channels,
 }
 
 TensorF ResidualBlock::forward(const TensorF& input, QuantEngine& engine) {
+  // Elementwise stages run through the same primitive layers the graph
+  // runtime binds, so both execution paths produce identical per-node
+  // obs records (pinned by tests/graph/).  ReLU's kernel is the same
+  // max(v, 0) this loop used inline, so the split is bitwise-neutral.
   TensorF main = conv1_.forward(input, engine);
   main = bn1_.forward(main, engine);
-  for (float& v : main.data()) v = std::max(v, 0.0f);
+  main = relu1_.forward(main, engine);
   main = conv2_.forward(main, engine);
   main = bn2_.forward(main, engine);
 
@@ -53,9 +57,9 @@ TensorF ResidualBlock::forward(const TensorF& input, QuantEngine& engine) {
   auto md = main.data();
   auto sd = skip.data();
   for (std::size_t i = 0; i < md.size(); ++i) {
-    md[i] = std::max(md[i] + sd[i], 0.0f);
+    md[i] += sd[i];
   }
-  return main;
+  return relu2_.forward(main, engine);
 }
 
 TransformerBlock::TransformerBlock(std::string name, std::int64_t dim,
@@ -63,7 +67,7 @@ TransformerBlock::TransformerBlock(std::string name, std::int64_t dim,
                                    Rng& rng)
     : name_(std::move(name)), ln1_(name_ + ".ln1", dim),
       attn_(name_ + ".attn", dim, heads, rng), ln2_(name_ + ".ln2", dim),
-      ffn1_(name_ + ".ffn1", dim, ffn_dim, rng),
+      ffn1_(name_ + ".ffn1", dim, ffn_dim, rng), gelu_(name_ + ".gelu"),
       ffn2_(name_ + ".ffn2", ffn_dim, dim, rng) {}
 
 TensorF TransformerBlock::forward(const TensorF& input, QuantEngine& engine) {
@@ -80,7 +84,9 @@ TensorF TransformerBlock::forward(const TensorF& input, QuantEngine& engine) {
   {
     TensorF h = ln2_.forward(x, engine);
     h = ffn1_.forward(h, engine);
-    for (float& v : h.data()) v = gelu_value(v);
+    // Same gelu_value kernel the inline loop applied, now via the GELU
+    // layer so the obs record set matches graph execution.
+    h = gelu_.forward(h, engine);
     h = ffn2_.forward(h, engine);
     auto xd = x.data();
     auto hd = h.data();

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/activations.hpp"
 #include "nn/attention.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/layer.hpp"
@@ -51,8 +52,10 @@ class ResidualBlock : public Layer {
   std::string name_;
   Conv2d conv1_;
   BatchNorm2d bn1_;
+  ReLU relu1_;
   Conv2d conv2_;
   BatchNorm2d bn2_;
+  ReLU relu2_;
   std::unique_ptr<Conv2d> projection_;  ///< 1x1 shortcut when needed
 };
 
@@ -72,6 +75,7 @@ class TransformerBlock : public Layer {
   MultiHeadAttention attn_;
   LayerNorm ln2_;
   Linear ffn1_;
+  GELU gelu_;
   Linear ffn2_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace drift::nn {
@@ -13,6 +14,7 @@ LayerNorm::LayerNorm(std::string name, std::int64_t width)
 }
 
 TensorF LayerNorm::forward(const TensorF& input, QuantEngine&) {
+  DRIFT_OBS_LAYER_SCOPE(name_);
   DRIFT_CHECK(input.shape().rank() == 2, "LayerNorm expects [M, N]");
   DRIFT_CHECK(input.shape().dim(1) == width(), "LayerNorm width mismatch");
   const std::int64_t M = input.shape().dim(0);
@@ -49,6 +51,7 @@ BatchNorm2d::BatchNorm2d(std::string name, std::int64_t channels)
 }
 
 TensorF BatchNorm2d::forward(const TensorF& input, QuantEngine&) {
+  DRIFT_OBS_LAYER_SCOPE(name_);
   DRIFT_CHECK(input.shape().rank() == 3, "BatchNorm2d expects [C, H, W]");
   DRIFT_CHECK(input.shape().dim(0) == scale_.shape().dim(0),
               "BatchNorm channel mismatch");

@@ -1,0 +1,168 @@
+#include "zoo.hpp"
+
+#include <utility>
+
+#include "graph/builder.hpp"
+#include "util/assert.hpp"
+
+namespace drift::graphcli {
+namespace {
+
+using drift::graph::Attr;
+using drift::graph::AttrMap;
+using drift::graph::Graph;
+using drift::graph::GraphBuilder;
+
+AttrMap conv_attrs(std::int64_t out_channels, std::int64_t kernel,
+                   std::int64_t stride, std::int64_t pad) {
+  AttrMap attrs;
+  attrs.emplace("out_channels", Attr::of_int(out_channels));
+  attrs.emplace("kernel", Attr::of_int(kernel));
+  if (stride != 1) attrs.emplace("stride", Attr::of_int(stride));
+  if (pad != 0) attrs.emplace("pad", Attr::of_int(pad));
+  return attrs;
+}
+
+AttrMap linear_attrs(std::int64_t out_features, const std::string& kind) {
+  AttrMap attrs;
+  attrs.emplace("out_features", Attr::of_int(out_features));
+  attrs.emplace("kind", Attr::of_string(kind));
+  return attrs;
+}
+
+/// One pre-norm transformer encoder block (the ViT / BERT / GPT-2
+/// layout the hand-built workloads model): ln -> attention -> residual,
+/// ln -> ffn (GELU) -> residual.  `in` names the block's input value;
+/// the block's output is `p + ".add2"`.
+void add_encoder_block(GraphBuilder& b, const std::string& p,
+                       const std::string& in, std::int64_t dim,
+                       std::int64_t heads, std::int64_t ffn_dim) {
+  AttrMap attn_attrs;
+  attn_attrs.emplace("heads", Attr::of_int(heads));
+  b.node(p + ".ln1", "layernorm", {in});
+  b.then(p + ".attn", "attention", std::move(attn_attrs));
+  b.node(p + ".add1", "add", {p + ".attn", in});
+  b.then(p + ".ln2", "layernorm");
+  b.then(p + ".ffn1", "linear", linear_attrs(ffn_dim, "ffn"));
+  b.then(p + ".gelu", "gelu");
+  b.then(p + ".ffn2", "linear", linear_attrs(dim, "ffn"));
+  b.node(p + ".add2", "add", {p + ".ffn2", p + ".add1"});
+}
+
+/// ResNet-18: node names (and therefore exported GEMM names) match
+/// nn::make_resnet18() exactly — tests/graph pins the two workload
+/// exports against each other layer by layer.
+Graph make_resnet18_graph() {
+  GraphBuilder b("resnet18", "cnn");
+  b.input("image", {3, 224, 224});
+  b.then("conv1", "conv2d", conv_attrs(64, 7, 2, 3));
+  b.then("bn1", "batchnorm2d");
+  b.then("relu1", "relu");
+  // MaxPool2d has no padding, so the 112 -> 56 halving uses k=2 s=2
+  // (the hand workload models the same halving).
+  AttrMap pool_attrs;
+  pool_attrs.emplace("kernel", Attr::of_int(2));
+  b.then("maxpool", "maxpool2d", std::move(pool_attrs));
+
+  struct Stage { std::int64_t ch, blocks, stride; };
+  const Stage stages[] = {{64, 2, 1}, {128, 2, 2}, {256, 2, 2}, {512, 2, 2}};
+  std::int64_t in_ch = 64;
+  int stage_idx = 1;
+  std::string value = "maxpool";
+  for (const Stage& st : stages) {
+    const std::string sp = "layer" + std::to_string(stage_idx++);
+    for (std::int64_t blk = 0; blk < st.blocks; ++blk) {
+      const std::int64_t stride = blk == 0 ? st.stride : 1;
+      const std::string bp = sp + ".b" + std::to_string(blk);
+      std::string identity = value;
+      // Down-sample projection first, mirroring the hand workload's
+      // emission order so the exported GEMM lists align index-for-index.
+      if (stride != 1 || in_ch != st.ch) {
+        b.node(bp + ".down", "conv2d", {value},
+               conv_attrs(st.ch, 1, stride, 0));
+        identity = bp + ".down";
+      }
+      b.node(bp + ".conv1", "conv2d", {value},
+             conv_attrs(st.ch, 3, stride, 1));
+      b.then(bp + ".bn1", "batchnorm2d");
+      b.then(bp + ".relu1", "relu");
+      b.then(bp + ".conv2", "conv2d", conv_attrs(st.ch, 3, 1, 1));
+      b.then(bp + ".bn2", "batchnorm2d");
+      b.node(bp + ".add", "add", {bp + ".bn2", identity});
+      b.then(bp + ".relu2", "relu");
+      value = bp + ".relu2";
+      in_ch = st.ch;
+    }
+  }
+  b.then("avgpool", "global_avgpool");
+  b.then("fc", "linear", linear_attrs(1000, "fc"));
+  return b.build();
+}
+
+/// ViT-style encoder: 16x16 patch embedding as a strided convolution,
+/// flattened to tokens, `depth` encoder blocks, mean-pooled head.
+Graph make_vit_graph(const std::string& name, std::int64_t dim,
+                     std::int64_t heads, std::int64_t ffn_dim,
+                     std::int64_t depth) {
+  GraphBuilder b(name, "vit");
+  b.input("image", {3, 224, 224});
+  AttrMap embed_attrs = conv_attrs(dim, 16, 16, 0);
+  embed_attrs.emplace("kind", Attr::of_string("embed"));
+  b.then("patch_embed", "conv2d", std::move(embed_attrs));
+  b.then("tokens", "to_tokens");
+  std::string value = "tokens";
+  for (std::int64_t blk = 0; blk < depth; ++blk) {
+    const std::string p = "block" + std::to_string(blk);
+    add_encoder_block(b, p, value, dim, heads, ffn_dim);
+    value = p + ".add2";
+  }
+  b.then("pool", "mean_pool_tokens");
+  b.then("head", "linear", linear_attrs(1000, "fc"));
+  return b.build();
+}
+
+/// BERT-base encoder over already-embedded tokens.
+Graph make_bert_base_graph() {
+  GraphBuilder b("bert_base", "bert");
+  b.input("tokens", {128, 768});
+  std::string value = "tokens";
+  for (std::int64_t blk = 0; blk < 12; ++blk) {
+    const std::string p = "block" + std::to_string(blk);
+    add_encoder_block(b, p, value, 768, 12, 3072);
+    value = p + ".add2";
+  }
+  b.then("pool", "mean_pool_tokens");
+  b.then("pooler", "linear", linear_attrs(768, "fc"));
+  return b.build();
+}
+
+/// One GPT-2 XL decoder layer over a 1024-token prompt (the unit the
+/// full 48-layer model repeats).
+Graph make_gpt2_layer_graph() {
+  GraphBuilder b("gpt2_layer", "llm");
+  b.input("tokens", {1024, 1600});
+  add_encoder_block(b, "block0", "tokens", 1600, 25, 6400);
+  return b.build();
+}
+
+}  // namespace
+
+std::vector<std::string> zoo_names() {
+  return {"bert_base", "deit_s", "gpt2_layer", "resnet18", "vit_b16"};
+}
+
+Graph make_zoo_graph(const std::string& name) {
+  if (name == "resnet18") return make_resnet18_graph();
+  if (name == "vit_b16") return make_vit_graph("vit_b16", 768, 12, 3072, 12);
+  if (name == "deit_s") return make_vit_graph("deit_s", 384, 6, 1536, 12);
+  if (name == "bert_base") return make_bert_base_graph();
+  if (name == "gpt2_layer") return make_gpt2_layer_graph();
+  std::string known;
+  for (const std::string& n : zoo_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw check_error("unknown zoo model '" + name + "' (have: " + known + ")");
+}
+
+}  // namespace drift::graphcli

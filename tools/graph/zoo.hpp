@@ -1,0 +1,24 @@
+// Built-in model-zoo topologies.
+//
+// The same five real-model graphs the paper evaluates, expressed in
+// the src/graph data model so they can be validated, shape-inferred,
+// emitted as JSON (examples/model_zoo/*.json is generated from these
+// builders and pinned in sync by tests/graph/), and routed through the
+// hardware pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace drift::graphcli {
+
+/// Names accepted by make_zoo_graph, sorted.
+std::vector<std::string> zoo_names();
+
+/// Builds one of the zoo topologies; throws check_error on an unknown
+/// name (the message lists the valid ones).
+drift::graph::Graph make_zoo_graph(const std::string& name);
+
+}  // namespace drift::graphcli

@@ -16,8 +16,8 @@ namespace drift::lint {
 namespace {
 
 constexpr const char* kDagSpec =
-    "util -> tensor/stats -> core/nn/dram/energy/systolic -> accel -> "
-    "obs -> serve";
+    "util -> tensor/stats -> core/nn/dram/energy/systolic -> graph -> "
+    "accel -> obs -> serve";
 
 bool is_cpp_keyword(const std::string& s) {
   static const std::set<std::string> kKeywords = {
@@ -425,8 +425,8 @@ void add_graph_rules(std::vector<Rule>& rules) {
   rules.push_back({"layer",
                    "cross-module references respect the declared module DAG "
                    "(util -> tensor/stats -> core/nn/dram/energy/systolic -> "
-                   "accel -> obs -> serve; ref isolated; simd sealed; obs "
-                   "reachable from everywhere)",
+                   "graph -> accel -> obs -> serve; ref isolated; simd "
+                   "sealed; obs reachable from everywhere)",
                    nullptr, analysis_layer});
   rules.push_back({"unordered",
                    "no unordered-container iteration on a call path that "

@@ -13,9 +13,10 @@ int module_rank(const std::string& module_name) {
       module_name == "simd") {
     return 2;
   }
-  if (module_name == "accel") return 3;
-  if (module_name == "obs") return 4;
-  if (module_name == "serve") return 5;
+  if (module_name == "graph") return 3;
+  if (module_name == "accel") return 4;
+  if (module_name == "obs") return 5;
+  if (module_name == "serve") return 6;
   return -1;  // ref (isolated) and non-src paths
 }
 

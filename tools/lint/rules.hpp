@@ -25,7 +25,8 @@
 //   layer           cross-module reference (include edge or qualified
 //                   symbol use) violating the declared module DAG
 //                   util → tensor/stats → core/nn/dram/energy/systolic
-//                   → accel → obs → serve; src/ref referenced by no
+//                   → graph → accel → obs → serve; src/ref referenced
+//                   by no
 //                   production module; obs reachable from every layer
 //                   as the cross-cutting instrumentation sidecar
 //   unordered       iteration over unordered_{map,set} inside a

@@ -35,7 +35,8 @@ std::size_t find_token(const std::string& code, const std::string& token) {
 }
 
 bool is_reporting_sink(const std::string& rel) {
-  return starts_with(rel, "tools/lint/") ||
+  return starts_with(rel, "tools/graph/") ||
+         starts_with(rel, "tools/lint/") ||
          starts_with(rel, "tools/report/") ||
          starts_with(rel, "tools/serve/") || rel == "tools/driftsim.cpp";
 }
